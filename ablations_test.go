@@ -1,0 +1,183 @@
+package cagc
+
+import "testing"
+
+func TestAblateWriteBuffer(t *testing.T) {
+	pts, cagcRef, err := AblateWriteBuffer(Homes, []int{8, 256}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || cagcRef == nil {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// A larger buffer programs less flash on a skewed workload.
+	small := pts[0].Baseline.FTL.UserPrograms
+	large := pts[1].Baseline.FTL.UserPrograms
+	if large >= small {
+		t.Errorf("buffer 256 wrote %d programs, buffer 8 wrote %d — want fewer", large, small)
+	}
+	// Buffered writes complete at RAM speed: write latency collapses.
+	if pts[1].Baseline.WriteLatency.Mean() >= cagcRef.WriteLatency.Mean()*2 {
+		t.Errorf("buffered write mean %.1fµs suspiciously high",
+			pts[1].Baseline.WriteLatency.Mean()/1000)
+	}
+}
+
+func TestAblateWearLevel(t *testing.T) {
+	// Deep churn on the low-dedup workload skews wear enough for the
+	// static swap to fire. (Mechanism-level coverage with manufactured
+	// skew lives in internal/ftl.)
+	p := testParams()
+	p.Requests = 12000
+	a, err := AblateWearLevel(Homes, 2, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Off.FTL.WLSwaps != 0 {
+		t.Fatal("wear leveling ran while disabled")
+	}
+	// Leveling must not increase the erase-count spread.
+	if a.On.EraseSpread > a.Off.EraseSpread {
+		t.Errorf("WL widened the spread: %d -> %d", a.Off.EraseSpread, a.On.EraseSpread)
+	}
+}
+
+func TestAblateIndexCapacity(t *testing.T) {
+	pts, err := AblateIndexCapacity(Mail, []int{16, 0}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, unlimited := pts[0].Result, pts[1].Result
+	// A 16-fingerprint cache forfeits dedup hits: fewer drops, more
+	// migrated pages.
+	if capped.FTL.GCDupDropped >= unlimited.FTL.GCDupDropped {
+		t.Errorf("capped index dropped %d >= unlimited %d",
+			capped.FTL.GCDupDropped, unlimited.FTL.GCDupDropped)
+	}
+	if capped.FTL.PagesMigrated <= unlimited.FTL.PagesMigrated {
+		t.Errorf("capped index migrated %d <= unlimited %d",
+			capped.FTL.PagesMigrated, unlimited.FTL.PagesMigrated)
+	}
+}
+
+func TestBufferedRunEndToEnd(t *testing.T) {
+	p := testParams()
+	p.BufferPages = 64
+	res, err := Run(Homes, Baseline, "greedy", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(Homes, Baseline, "greedy", testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The buffer absorbs part of the write traffic.
+	if res.FTL.UserPrograms >= plain.FTL.UserPrograms {
+		t.Errorf("buffered programs %d >= unbuffered %d",
+			res.FTL.UserPrograms, plain.FTL.UserPrograms)
+	}
+	if res.Buffer.WriteHits == 0 {
+		t.Error("buffer recorded no coalesced writes")
+	}
+	if plain.Buffer.WriteHits != 0 {
+		t.Error("unbuffered run has buffer stats")
+	}
+}
+
+func TestBufferedCAGCStillConsistent(t *testing.T) {
+	p := testParams()
+	p.BufferPages = 32
+	res, err := Run(Mail, CAGC, "greedy", p)
+	if err != nil {
+		t.Fatal(err) // Run includes the post-run invariant check
+	}
+	if res.FTL.GCDupDropped == 0 {
+		t.Error("buffered CAGC never deduplicated")
+	}
+}
+
+func TestThroughputCurve(t *testing.T) {
+	p := testParams()
+	p.Requests = 2500
+	pts, err := ThroughputCurve(Mail, []int{1, 8}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Baseline.IOPS() <= 0 || pt.CAGC.IOPS() <= 0 {
+			t.Fatalf("qd %d: zero throughput", pt.QueueDepth)
+		}
+	}
+	// Under saturation CAGC's lighter GC load yields at least as much
+	// throughput as the baseline at the deeper queue.
+	deep := pts[1]
+	if deep.CAGC.IOPS() < deep.Baseline.IOPS()*0.95 {
+		t.Errorf("CAGC %.0f IOPS well below baseline %.0f at QD8",
+			deep.CAGC.IOPS(), deep.Baseline.IOPS())
+	}
+}
+
+func TestAblateMappingCache(t *testing.T) {
+	pts, err := AblateMappingCache(Mail, []int{512, 0}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny, full := pts[0].Result, pts[1].Result
+	// A one-page CMT must cost response time relative to a RAM map.
+	if tiny.MeanLatency() <= full.MeanLatency() {
+		t.Errorf("tiny CMT mean %.1fµs <= full map %.1fµs",
+			tiny.MeanLatency(), full.MeanLatency())
+	}
+}
+
+func TestAblateWatermark(t *testing.T) {
+	pts, err := AblateWatermark(WebVM, []float64{0.10, 0.25}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		// CAGC's reductions must survive the trigger change.
+		if pt.CAGC.FTL.PagesMigrated >= pt.Baseline.FTL.PagesMigrated {
+			t.Errorf("watermark %.2f: CAGC migrated %d >= baseline %d",
+				pt.Watermark, pt.CAGC.FTL.PagesMigrated, pt.Baseline.FTL.PagesMigrated)
+		}
+	}
+	if _, err := AblateWatermark(WebVM, []float64{0.95}, testParams()); err == nil {
+		t.Error("invalid watermark accepted")
+	}
+}
+
+func TestArrayStudy(t *testing.T) {
+	p := testParams()
+	p.Requests = 3000
+	rows, err := ArrayStudy(Mail, []Scheme{Baseline, CAGC}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PlainRead.Requests != 3000 || r.SteeredRead.Requests != 3000 {
+			t.Fatalf("%v: incomplete replays: %d/%d",
+				r.Scheme, r.PlainRead.Requests, r.SteeredRead.Requests)
+		}
+		if r.SteeredRead.SteeredReads == 0 {
+			t.Errorf("%v: steering never fired", r.Scheme)
+		}
+	}
+	// CAGC members give the mirrored volume a better read tail than
+	// Baseline members under the same steering policy.
+	base, cg := rows[0], rows[1]
+	if cg.SteeredRead.ReadLatency.Percentile(0.99) >= base.SteeredRead.ReadLatency.Percentile(0.99) {
+		t.Errorf("array read p99: CAGC %v >= Baseline %v",
+			cg.SteeredRead.ReadLatency.Percentile(0.99),
+			base.SteeredRead.ReadLatency.Percentile(0.99))
+	}
+}

@@ -1,0 +1,80 @@
+package cagc
+
+// All-flash-array extension: the paper motivates CAGC for "HPC and
+// enterprise storage systems" and cites both the tail-at-scale problem
+// and GC-aware request steering in SSD arrays. This harness measures
+// how CAGC's shorter GC translates to array-level read tails in a
+// mirrored pair, with and without GC-aware steering.
+
+import (
+	"fmt"
+
+	"cagc/internal/array"
+	"cagc/internal/flash"
+	"cagc/internal/trace"
+)
+
+// ArrayResult is the volume-level outcome of one mirrored-pair replay.
+type ArrayResult = array.Result
+
+// ArrayStudyRow compares one member scheme with steering off and on.
+type ArrayStudyRow struct {
+	Scheme      Scheme
+	PlainRead   *ArrayResult // round-robin reads
+	SteeredRead *ArrayResult // GC-aware steering
+	// P99ReadImprovement is 1 - steered/plain at the read p99.
+	P99ReadImprovement float64
+}
+
+// ArrayStudy replays the workload through RAID-1 mirrored pairs whose
+// members run scheme s, once with round-robin reads and once with
+// GC-aware steering. Member GC is staggered in both configurations.
+func ArrayStudy(w Workload, schemes []Scheme, p Params) ([]ArrayStudyRow, error) {
+	p = p.withDefaults()
+	rows := make([]ArrayStudyRow, 0, len(schemes))
+	for _, s := range schemes {
+		plain, err := runArray(w, s, p, false)
+		if err != nil {
+			return nil, fmt.Errorf("array %v plain: %w", s, err)
+		}
+		steered, err := runArray(w, s, p, true)
+		if err != nil {
+			return nil, fmt.Errorf("array %v steered: %w", s, err)
+		}
+		row := ArrayStudyRow{Scheme: s, PlainRead: plain, SteeredRead: steered}
+		if pp := plain.ReadLatency.Percentile(0.99); pp > 0 {
+			row.P99ReadImprovement = 1 - float64(steered.ReadLatency.Percentile(0.99))/float64(pp)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runArray(w Workload, s Scheme, p Params, steering bool) (*ArrayResult, error) {
+	cfg := array.Config{
+		Mode:            array.RAID1,
+		Members:         2,
+		MemberDevice:    flash.ScaledConfig(p.DeviceBytes),
+		MemberOptions:   s.Options(),
+		Utilization:     p.Utilization,
+		GCAwareSteering: steering,
+		StaggerGC:       true,
+	}
+	a, err := array.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := trace.Preset(w, a.LogicalPages(), p.Requests, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	offset, err := array.Precondition(a, spec)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := trace.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	return array.Replay(a, gen, offset)
+}

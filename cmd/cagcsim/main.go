@@ -1,0 +1,81 @@
+// Command cagcsim runs one scheme on one workload through the
+// simulated ultra-low-latency SSD and prints the full measurement
+// report: latency distribution, GC counters, write amplification, and
+// the reference-count invalidation breakdown.
+//
+// Usage:
+//
+//	cagcsim -workload Mail -scheme cagc -policy greedy
+//	cagcsim -workload Web-vm -scheme baseline -device 134217728 -requests 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cagc"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "Mail", "workload preset: Homes, Web-vm, or Mail")
+		scheme   = flag.String("scheme", "cagc", "scheme: baseline, inline, or cagc")
+		policy   = flag.String("policy", "greedy", "victim policy: greedy, random, or cost-benefit")
+		device   = flag.Int64("device", 16<<20, "physical flash bytes (Table-I parameters at any scale)")
+		requests = flag.Int("requests", 20000, "measured requests to replay")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		util     = flag.Float64("util", 0.55, "logical space as a fraction of user capacity")
+		thresh   = flag.Int("threshold", 1, "CAGC hot/cold reference-count threshold")
+		qd       = flag.Int("qd", 0, "closed-loop queue depth (0 = open-loop trace replay)")
+		bufPages = flag.Int("buffer", 0, "controller write-buffer pages (0 = none)")
+		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of the text report")
+	)
+	flag.Parse()
+
+	s, err := cagc.ParseScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := findWorkload(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	p := cagc.Params{
+		DeviceBytes:  *device,
+		Requests:     *requests,
+		Seed:         *seed,
+		Utilization:  *util,
+		RefThreshold: *thresh,
+		QueueDepth:   *qd,
+		BufferPages:  *bufPages,
+	}
+	res, err := cagc.Run(w, s, *policy, p)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		if err := cagc.WriteJSON(os.Stdout, res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Println(cagc.TableIString(p))
+	fmt.Println()
+	cagc.FprintResult(os.Stdout, res)
+}
+
+func findWorkload(name string) (cagc.Workload, error) {
+	for _, w := range cagc.Workloads {
+		if strings.EqualFold(string(w), name) {
+			return w, nil
+		}
+	}
+	return "", fmt.Errorf("unknown workload %q (want one of %v)", name, cagc.Workloads)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cagcsim:", err)
+	os.Exit(1)
+}

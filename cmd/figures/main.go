@@ -1,0 +1,45 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	figures                 # everything
+//	figures -exp fig9       # one experiment
+//	figures -exp verify     # audit every reproduced claim
+//	figures -requests 50000 -device 134217728
+//
+// Experiments: tableI, tableII, fig2, fig6, fig8, fig9, fig10, fig11,
+// fig12, fig13, throughput, array, ablations, verify, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cagc"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see command doc; 'all' runs everything)")
+		device   = flag.Int64("device", 16<<20, "physical flash bytes")
+		requests = flag.Int("requests", 20000, "measured requests per run")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		util     = flag.Float64("util", 0.55, "logical space as a fraction of user capacity")
+	)
+	flag.Parse()
+
+	p := cagc.Params{DeviceBytes: *device, Requests: *requests, Seed: *seed, Utilization: *util}
+	var err error
+	if strings.EqualFold(*exp, "all") {
+		err = cagc.RunAllExperiments(p, os.Stdout)
+	} else {
+		err = cagc.RunExperiment(strings.ToLower(*exp), p, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}

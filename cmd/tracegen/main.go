@@ -1,0 +1,186 @@
+// Command tracegen generates, converts, and inspects content-annotated
+// block I/O traces in the repository's trace formats.
+//
+// Usage:
+//
+//	tracegen -workload Mail -requests 100000 -o mail.trace          # binary
+//	tracegen -workload Homes -requests 1000 -text -o homes.txt      # text
+//	tracegen -inspect mail.trace                                    # characteristics
+//	tracegen -convert mail.trace -text -o mail.txt                  # binary -> text
+//	tracegen -fiu homes-sample.txt -timescale 0.001 -o homes.trace  # FIU import
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cagc/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "Mail", "workload preset: Homes, Web-vm, or Mail")
+		requests = flag.Int("requests", 100000, "requests to generate")
+		logical  = flag.Uint64("logical", 1<<18, "logical address space in pages")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		out      = flag.String("o", "", "output path (default stdout)")
+		text     = flag.Bool("text", false, "write the human-readable text format")
+		inspect  = flag.String("inspect", "", "characterize an existing trace file instead of generating")
+		convert  = flag.String("convert", "", "re-encode an existing trace file instead of generating")
+		fiu      = flag.String("fiu", "", "convert an FIU iodedup trace (SNIA IOTTA set 391 format)")
+		scale    = flag.Float64("timescale", 1, "inter-arrival scale factor for -fiu (the raw traces span weeks)")
+	)
+	flag.Parse()
+
+	switch {
+	case *fiu != "":
+		f, err := os.Open(*fiu)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src := trace.NewFIUReader(f, *scale)
+		if err := emit(src, *out, *text); err != nil {
+			fatal(err)
+		}
+		if err := src.Err(); err != nil {
+			fatal(err)
+		}
+	case *inspect != "":
+		src, closeFn, err := openTrace(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeFn()
+		c := trace.Characterize(src, 4096)
+		fmt.Println(c)
+		// Second pass for the Figure-6 refcount analysis.
+		src2, closeFn2, err := openTrace(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeFn2()
+		dist := trace.AnalyzeRefcounts(src2)
+		sh := dist.Shares()
+		fmt.Printf("invalidations by refcount: 1: %.1f%%  2: %.1f%%  3: %.1f%%  >3: %.1f%% (n=%d)\n",
+			sh[0]*100, sh[1]*100, sh[2]*100, sh[3]*100, dist.Total())
+	case *convert != "":
+		src, closeFn, err := openTrace(*convert)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeFn()
+		if err := emit(src, *out, *text); err != nil {
+			fatal(err)
+		}
+	default:
+		w, err := findWorkload(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := trace.Preset(w, *logical, *requests, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		gen, err := trace.NewGenerator(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := emit(gen, *out, *text); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// openTrace opens a trace file, auto-detecting gzip and binary vs text
+// format.
+func openTrace(path string) (trace.Source, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	closeFn := func() { f.Close() }
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		r, err := trace.NewReader(gz)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return r, closeFn, nil
+	}
+	if r, err := trace.NewReader(f); err == nil {
+		return r, closeFn, nil
+	}
+	// Not binary: rewind and parse as text.
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return trace.NewTextReader(f), closeFn, nil
+}
+
+func emit(src trace.Source, out string, asText bool) error {
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+		if strings.HasSuffix(out, ".gz") {
+			gz := gzip.NewWriter(f)
+			defer gz.Close()
+			w = gz
+		}
+	}
+	if asText {
+		n, err := trace.WriteText(w, src)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %d requests (text)\n", n)
+		return nil
+	}
+	bw, err := trace.NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := bw.Write(r); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d requests (binary)\n", bw.Count())
+	return nil
+}
+
+func findWorkload(name string) (trace.WorkloadName, error) {
+	for _, w := range trace.Workloads {
+		if strings.EqualFold(string(w), name) {
+			return w, nil
+		}
+	}
+	return "", fmt.Errorf("unknown workload %q (want one of %v)", name, trace.Names())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Mailserver: a deep dive into the paper's headline scenario — an
+// email-server workload (89.3% duplicate content) on an ultra-low
+// latency SSD. Runs all three schemes, prints the latency CDF the way
+// Figure 12 plots it, and shows where inline deduplication loses and
+// CAGC wins.
+//
+//	go run ./examples/mailserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cagc"
+)
+
+func main() {
+	p := cagc.Params{DeviceBytes: 32 << 20, Requests: 15000}
+
+	results := map[cagc.Scheme]*cagc.Result{}
+	for _, s := range cagc.Schemes {
+		r, err := cagc.Run(cagc.Mail, s, "greedy", p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[s] = r
+	}
+
+	fmt.Println("Mail on an ultra-low-latency SSD — three schemes, one trace")
+	fmt.Println(strings.Repeat("-", 64))
+	fmt.Printf("%-14s %10s %10s %8s %8s %8s\n",
+		"scheme", "mean µs", "p99 µs", "erased", "migr", "WA")
+	for _, s := range cagc.Schemes {
+		r := results[s]
+		fmt.Printf("%-14s %10.1f %10.1f %8d %8d %8.3f\n",
+			s, r.MeanLatency(), r.Latency.Percentile(0.99).Micros(),
+			r.FTL.BlocksErased, r.FTL.PagesMigrated, r.FTL.WriteAmplification())
+	}
+
+	// The Figure-12 view: how much of the distribution each scheme
+	// serves under a few latency budgets.
+	fmt.Println("\nfraction of requests served within a latency budget:")
+	budgets := []float64{20, 50, 100, 500, 2000} // µs
+	fmt.Printf("%-14s", "scheme")
+	for _, b := range budgets {
+		fmt.Printf(" %7.0fµs", b)
+	}
+	fmt.Println()
+	for _, s := range cagc.Schemes {
+		r := results[s]
+		fmt.Printf("%-14s", s)
+		for _, b := range budgets {
+			f := r.Latency.FractionBelow(cagc.Time(b) * cagc.Microsecond)
+			fmt.Printf("  %7.1f%%", f*100)
+		}
+		fmt.Println()
+	}
+
+	// The Figure-11/12 mechanism, made visible: latency over time with
+	// GC spikes. Print the worst windows of Baseline vs CAGC.
+	fmt.Println("\nworst 10ms windows (max response in the window):")
+	fmt.Printf("%-14s %14s %14s %10s\n", "scheme", "window start", "max latency", "requests")
+	for _, s := range []cagc.Scheme{cagc.Baseline, cagc.CAGC} {
+		if tl := results[s].Timeline; tl != nil {
+			pk := tl.Peak()
+			fmt.Printf("%-14s %14v %14v %10d\n", s, pk.Start, pk.Max, pk.Count)
+		}
+	}
+
+	in, ba, cg := results[cagc.InlineDedupe], results[cagc.Baseline], results[cagc.CAGC]
+	fmt.Println("\nwhat happened:")
+	fmt.Printf("- Inline-Dedupe computed %d fingerprints on the write path; its\n", in.FTL.HashOps)
+	fmt.Printf("  writes averaged %.1fµs vs the baseline's %.1fµs — the paper's\n",
+		in.WriteLatency.Mean()/1000, ba.WriteLatency.Mean()/1000)
+	fmt.Println("  motivation for moving dedup off the critical path.")
+	fmt.Printf("- CAGC hashed only during GC (%d fingerprints), dropped %d redundant\n",
+		cg.FTL.HashOps, cg.FTL.GCDupDropped)
+	fmt.Printf("  copies, and erased %d blocks vs the baseline's %d.\n",
+		cg.FTL.BlocksErased, ba.FTL.BlocksErased)
+}

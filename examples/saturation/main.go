@@ -1,0 +1,51 @@
+// Saturation: beyond the paper's open-loop replay — what does CAGC buy
+// when the host never lets the SSD idle? Sweeps closed-loop queue
+// depth, compares Baseline vs CAGC throughput, and shows the cost of
+// SRAM-limited mapping metadata (a DFTL-style cached mapping table),
+// which grows once dedup metadata competes for controller RAM.
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cagc"
+)
+
+func main() {
+	p := cagc.Params{DeviceBytes: 16 << 20, Requests: 6000}
+
+	fmt.Println("Closed-loop saturation throughput, Mail workload")
+	pts, err := cagc.ThroughputCurve(cagc.Mail, []int{1, 2, 4, 8, 16, 32}, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %14s %14s %8s\n", "QD", "Baseline IOPS", "CAGC IOPS", "gain")
+	for _, pt := range pts {
+		fmt.Printf("%-6d %14.0f %14.0f %7.2fx\n",
+			pt.QueueDepth, pt.Baseline.IOPS(), pt.CAGC.IOPS(),
+			pt.CAGC.IOPS()/pt.Baseline.IOPS())
+	}
+	fmt.Println("\nUnder saturation there are no idle windows for background GC,")
+	fmt.Println("so every block erased is paid for in foreground throughput —")
+	fmt.Println("CAGC's smaller GC bill becomes an IOPS advantage.")
+
+	fmt.Println("\nMapping-metadata pressure (CAGC, open-loop):")
+	caches, err := cagc.AblateMappingCache(cagc.Mail, []int{512, 2048, 0}, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s %12s %10s\n", "CMT entries", "mean µs", "p99 µs")
+	for _, c := range caches {
+		label := "all in RAM"
+		if c.Entries > 0 {
+			label = fmt.Sprintf("%d", c.Entries)
+		}
+		fmt.Printf("%-16s %12.1f %10.1f\n", label,
+			c.Result.MeanLatency(), c.Result.Latency.Percentile(0.99).Micros())
+	}
+	fmt.Println("\nA cached mapping table stalls user requests on translation-page")
+	fmt.Println("reads; the paper assumes a fully RAM-resident map (the top row).")
+}

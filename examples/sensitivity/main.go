@@ -1,0 +1,59 @@
+// Sensitivity: the Figure-13 study as a runnable program — does CAGC's
+// advantage survive a change of victim-selection policy? Runs Baseline
+// and CAGC under Random, Greedy, and Cost-Benefit selection on every
+// workload and prints the reductions, plus a wear-leveling check that
+// the figure does not show.
+//
+//	go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cagc"
+)
+
+func main() {
+	p := cagc.Params{DeviceBytes: 32 << 20, Requests: 8000}
+
+	fmt.Println("CAGC vs Baseline under three victim-selection policies")
+	fmt.Printf("%-8s %-13s %10s %10s %10s %12s\n",
+		"workload", "policy", "erased", "migrated", "response", "erase-spread")
+	for _, w := range cagc.Workloads {
+		for _, policy := range []string{"random", "greedy", "cost-benefit"} {
+			base, err := cagc.Run(w, cagc.Baseline, policy, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cg, err := cagc.Run(w, cagc.CAGC, policy, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %-13s %9.1f%% %9.1f%% %9.1f%% %5d -> %d\n",
+				w, policy,
+				pct(base.FTL.BlocksErased, cg.FTL.BlocksErased),
+				pct(base.FTL.PagesMigrated, cg.FTL.PagesMigrated),
+				pctF(base.MeanLatency(), cg.MeanLatency()),
+				base.EraseSpread, cg.EraseSpread)
+		}
+	}
+	fmt.Println("\nReductions are CAGC's savings relative to Baseline under the same")
+	fmt.Println("policy; erase-spread is max-min per-block erase count (wear skew).")
+	fmt.Println("The paper's claim: CAGC is orthogonal to the victim policy — the")
+	fmt.Println("reductions hold under all three.")
+}
+
+func pct(base, with uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (1 - float64(with)/float64(base)) * 100
+}
+
+func pctF(base, with float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (1 - with/base) * 100
+}

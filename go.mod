@@ -1,0 +1,3 @@
+module cagc
+
+go 1.22

@@ -1,0 +1,126 @@
+package array
+
+import (
+	"fmt"
+
+	"cagc/internal/event"
+	"cagc/internal/metrics"
+	"cagc/internal/trace"
+)
+
+// Result is the volume-level measurement of one array replay.
+type Result struct {
+	Mode     string
+	Scheme   string
+	Members  int
+	Requests uint64
+	Duration event.Time
+
+	Latency      metrics.Histogram
+	ReadLatency  metrics.Histogram
+	WriteLatency metrics.Histogram
+
+	SteeredReads uint64
+}
+
+// Replay drives the array with a request stream, open-loop at the trace
+// timestamps shifted by offset. Requests are clipped to the volume's
+// address space like the single-device replayer.
+func Replay(a *Array, src trace.Source, offset event.Time) (*Result, error) {
+	res := &Result{
+		Mode:    a.cfg.Mode.String(),
+		Scheme:  a.cfg.MemberOptions.SchemeName(),
+		Members: a.cfg.Members,
+	}
+	var first event.Time = -1
+	var last event.Time
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		req.At += offset
+		if first < 0 {
+			first = req.At
+		}
+		var done event.Time
+		for i := 0; i < req.Pages; i++ {
+			lpn := req.LPN + uint64(i)
+			if lpn >= a.LogicalPages() {
+				break
+			}
+			var end event.Time
+			var err error
+			switch req.Op {
+			case trace.OpWrite:
+				end, err = a.Write(req.At, lpn, req.FPs[i])
+			case trace.OpRead:
+				end, err = a.Read(req.At, lpn)
+			case trace.OpTrim:
+				end, err = a.Trim(req.At, lpn)
+			default:
+				err = fmt.Errorf("array: unknown op %v", req.Op)
+			}
+			if err != nil {
+				return nil, err
+			}
+			if end > done {
+				done = end
+			}
+		}
+		if done > last {
+			last = done
+		}
+		lat := done - req.At
+		if lat < 0 {
+			lat = 0
+		}
+		res.Latency.Record(lat)
+		switch req.Op {
+		case trace.OpRead:
+			res.ReadLatency.Record(lat)
+		case trace.OpWrite:
+			res.WriteLatency.Record(lat)
+		}
+		res.Requests++
+	}
+	if first < 0 {
+		first = 0
+	}
+	res.Duration = last - first
+	res.SteeredReads = a.SteeredReads()
+	if err := a.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("array: post-replay invariants: %w", err)
+	}
+	return res, nil
+}
+
+// Precondition fills the volume once (every volume page written) so
+// the members reach steady state before measurement; returns the settle
+// time, as the single-device preconditioner does.
+func Precondition(a *Array, spec trace.Spec) (event.Time, error) {
+	pre, err := trace.NewPreconditioner(spec)
+	if err != nil {
+		return 0, err
+	}
+	var settle event.Time
+	for {
+		req, ok := pre.Next()
+		if !ok {
+			return settle, nil
+		}
+		for i := 0; i < req.Pages; i++ {
+			lpn := req.LPN + uint64(i)
+			if lpn >= a.LogicalPages() {
+				break
+			}
+			end, err := a.Write(0, lpn, req.FPs[i])
+			if err != nil {
+				return 0, fmt.Errorf("array: precondition: %w", err)
+			}
+			if end > settle {
+				settle = end
+			}
+		}
+	}
+}

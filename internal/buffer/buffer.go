@@ -1,0 +1,136 @@
+// Package buffer implements a controller-DRAM write-back buffer in
+// front of the FTL — the classic write-traffic reduction alternative
+// the paper's related work cites (disk/NVM write caches, GCaR-class
+// schemes). Hot overwrites coalesce in RAM instead of programming
+// flash, at the cost of volatile state.
+//
+// The buffer exists so the repository can compare CAGC against the
+// related-work lever on the same substrate: how much of CAGC's benefit
+// could a plain write buffer have captured?
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+
+	"cagc/internal/dedup"
+	"cagc/internal/event"
+	"cagc/internal/ftl"
+)
+
+// Stats counts buffer activity.
+type Stats struct {
+	WriteHits  uint64 // overwrites coalesced in RAM
+	WriteMiss  uint64 // writes that allocated a buffer slot
+	ReadHits   uint64 // reads served from RAM
+	ReadMiss   uint64 // reads forwarded to flash
+	Flushes    uint64 // pages written back to the FTL on eviction
+	TrimDrops  uint64 // buffered pages discarded by trim
+	FinalFlush uint64 // pages written back by Flush (drain)
+}
+
+type slot struct {
+	lpn uint64
+	fp  dedup.Fingerprint
+}
+
+// WriteBuffer is a fixed-capacity LRU write-back cache keyed by LPN.
+// Like the FTL it fronts, it is single-threaded by design.
+type WriteBuffer struct {
+	f     *ftl.FTL
+	cap   int
+	lru   *list.List // front = most recent; element values are *slot
+	index map[uint64]*list.Element
+	ctrl  event.Time
+	stats Stats
+}
+
+// New wraps f with a write-back buffer of capPages pages.
+func New(f *ftl.FTL, capPages int) (*WriteBuffer, error) {
+	if capPages <= 0 {
+		return nil, fmt.Errorf("buffer: capacity %d must be positive", capPages)
+	}
+	return &WriteBuffer{
+		f:     f,
+		cap:   capPages,
+		lru:   list.New(),
+		index: make(map[uint64]*list.Element, capPages),
+		ctrl:  f.Options().CtrlLatency,
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (b *WriteBuffer) Stats() Stats { return b.stats }
+
+// Len returns the number of buffered pages.
+func (b *WriteBuffer) Len() int { return b.lru.Len() }
+
+// FTL returns the wrapped translation layer.
+func (b *WriteBuffer) FTL() *ftl.FTL { return b.f }
+
+// Write buffers one page write. Overwrites of buffered pages coalesce;
+// a full buffer evicts its least-recently-used page to flash in the
+// background (the user response is not gated on the flush).
+func (b *WriteBuffer) Write(at event.Time, lpn uint64, fp dedup.Fingerprint) (event.Time, error) {
+	if el, ok := b.index[lpn]; ok {
+		el.Value.(*slot).fp = fp
+		b.lru.MoveToFront(el)
+		b.stats.WriteHits++
+		return at + b.ctrl, nil
+	}
+	b.stats.WriteMiss++
+	b.index[lpn] = b.lru.PushFront(&slot{lpn: lpn, fp: fp})
+	if b.lru.Len() > b.cap {
+		el := b.lru.Back()
+		s := el.Value.(*slot)
+		b.lru.Remove(el)
+		delete(b.index, s.lpn)
+		if _, err := b.f.Write(at, s.lpn, s.fp); err != nil {
+			return 0, fmt.Errorf("buffer: flushing lpn %d: %w", s.lpn, err)
+		}
+		b.stats.Flushes++
+	}
+	return at + b.ctrl, nil
+}
+
+// Read serves from the buffer when the page is resident.
+func (b *WriteBuffer) Read(at event.Time, lpn uint64) (event.Time, error) {
+	if el, ok := b.index[lpn]; ok {
+		b.lru.MoveToFront(el)
+		b.stats.ReadHits++
+		return at + b.ctrl, nil
+	}
+	b.stats.ReadMiss++
+	return b.f.Read(at, lpn)
+}
+
+// Trim discards any buffered copy and trims the flash mapping.
+func (b *WriteBuffer) Trim(at event.Time, lpn uint64) (event.Time, error) {
+	if el, ok := b.index[lpn]; ok {
+		b.lru.Remove(el)
+		delete(b.index, lpn)
+		b.stats.TrimDrops++
+	}
+	return b.f.Trim(at, lpn)
+}
+
+// Flush drains every buffered page to flash (shutdown / barrier
+// semantics) and returns the completion time of the last write.
+func (b *WriteBuffer) Flush(at event.Time) (event.Time, error) {
+	done := at
+	for b.lru.Len() > 0 {
+		el := b.lru.Back()
+		s := el.Value.(*slot)
+		b.lru.Remove(el)
+		delete(b.index, s.lpn)
+		end, err := b.f.Write(at, s.lpn, s.fp)
+		if err != nil {
+			return 0, fmt.Errorf("buffer: draining lpn %d: %w", s.lpn, err)
+		}
+		b.stats.FinalFlush++
+		if end > done {
+			done = end
+		}
+	}
+	return done, nil
+}

@@ -1,0 +1,81 @@
+// Package cagc wires the paper's three evaluated schemes onto the FTL
+// substrate and provides the deterministic worked example of Figure 8.
+//
+// The mechanism itself — GC-time deduplication, hash/copy/erase
+// overlap, and reference-count-based hot/cold placement — lives in
+// internal/ftl (it is an FTL configuration, exactly as the paper
+// describes CAGC as a module inside the FTL); this package provides the
+// scheme-level vocabulary the evaluation uses.
+package cagc
+
+import (
+	"fmt"
+
+	"cagc/internal/flash"
+	"cagc/internal/ftl"
+)
+
+// Scheme names one of the evaluated FTL configurations.
+type Scheme int
+
+const (
+	// Baseline: no deduplication anywhere (the non-dedup ULL SSD).
+	Baseline Scheme = iota
+	// InlineDedupe: fingerprinting on the foreground write path.
+	InlineDedupe
+	// CAGC: deduplication embedded in GC with hash overlap and
+	// reference-count-based hot/cold placement (the paper's scheme).
+	CAGC
+)
+
+// Schemes lists all schemes in the paper's presentation order.
+var Schemes = []Scheme{InlineDedupe, Baseline, CAGC}
+
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "Baseline"
+	case InlineDedupe:
+		return "Inline-Dedupe"
+	case CAGC:
+		return "CAGC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme resolves a CLI name.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "baseline", "Baseline":
+		return Baseline, nil
+	case "inline", "inline-dedupe", "Inline-Dedupe":
+		return InlineDedupe, nil
+	case "cagc", "CAGC":
+		return CAGC, nil
+	default:
+		return 0, fmt.Errorf("cagc: unknown scheme %q (want baseline, inline, or cagc)", name)
+	}
+}
+
+// Options returns the FTL options implementing s.
+func (s Scheme) Options() ftl.Options {
+	switch s {
+	case InlineDedupe:
+		return ftl.InlineDedupeOptions()
+	case CAGC:
+		return ftl.CAGCOptions()
+	default:
+		return ftl.BaselineOptions()
+	}
+}
+
+// Build constructs an FTL over dev implementing scheme s with the given
+// victim policy (nil means the paper's default, greedy).
+func Build(dev *flash.Device, logicalPages uint64, s Scheme, policy ftl.VictimPolicy) (*ftl.FTL, error) {
+	o := s.Options()
+	if policy != nil {
+		o.Policy = policy
+	}
+	return ftl.New(dev, logicalPages, o)
+}

@@ -1,0 +1,42 @@
+package dedup
+
+import "testing"
+
+func BenchmarkIndexLookupHit(b *testing.B) {
+	x := NewIndex()
+	const n = 4096
+	for i := uint64(0); i < n; i++ {
+		if _, err := x.Insert(OfUint64(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := x.Lookup(OfUint64(uint64(i) % n)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkIndexInsertRemove(b *testing.B) {
+	x := NewIndex()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, err := x.Insert(OfUint64(uint64(i)), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := x.DecRef(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFingerprintOf(b *testing.B) {
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	for i := 0; i < b.N; i++ {
+		Of(buf)
+	}
+}

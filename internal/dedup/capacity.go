@@ -1,0 +1,94 @@
+package dedup
+
+import "container/list"
+
+// Controller-RAM capping of the fingerprint index. Real dedup FTLs
+// (CAFTL, CA-SSD) cannot hold a fingerprint for every stored page: the
+// index is a cache. Evicting a fingerprint only forfeits *future*
+// dedup hits against that content — reference counts and mappings are
+// separate metadata and stay intact. An evicted entry simply becomes
+// unindexed again; if another copy of the same content is published
+// later, the two coexist as distinct contents (exactly what a real
+// cache miss costs).
+
+// SetCapacity bounds the number of indexed (published) fingerprints,
+// evicting least-recently-used ones as needed. Zero removes the bound.
+// Entries already indexed beyond the new capacity are evicted
+// immediately, oldest first.
+func (x *Index) SetCapacity(n int) {
+	x.capacity = n
+	if n > 0 && x.lru == nil {
+		x.lru = list.New()
+		x.lruPos = make(map[CID]*list.Element)
+		// Adopt any already-indexed entries in CID order (no better
+		// recency information exists yet).
+		for c := range x.entries {
+			e := &x.entries[c]
+			if e.ref > 0 && !e.unindexed {
+				x.lruPos[CID(c)] = x.lru.PushFront(CID(c))
+			}
+		}
+	}
+	x.enforceCapacity()
+}
+
+// Capacity returns the current bound (0 = unlimited).
+func (x *Index) Capacity() int { return x.capacity }
+
+// Evictions returns how many fingerprints were evicted under pressure.
+func (x *Index) Evictions() uint64 { return x.stats.Evictions }
+
+// touch marks c most-recently-used.
+func (x *Index) touch(c CID) {
+	if x.capacity <= 0 || x.lru == nil {
+		return
+	}
+	if el, ok := x.lruPos[c]; ok {
+		x.lru.MoveToFront(el)
+	}
+}
+
+// trackIndexed registers a newly published/inserted CID and enforces
+// the bound.
+func (x *Index) trackIndexed(c CID) {
+	if x.capacity <= 0 {
+		return
+	}
+	if x.lru == nil {
+		x.lru = list.New()
+		x.lruPos = make(map[CID]*list.Element)
+	}
+	x.lruPos[c] = x.lru.PushFront(c)
+	x.enforceCapacity()
+}
+
+// untrack removes c from the recency list (entry died or was merged).
+func (x *Index) untrack(c CID) {
+	if x.lru == nil {
+		return
+	}
+	if el, ok := x.lruPos[c]; ok {
+		x.lru.Remove(el)
+		delete(x.lruPos, c)
+	}
+}
+
+// enforceCapacity evicts LRU fingerprints until within bound. Evicted
+// entries revert to unindexed: invisible to Lookup, refcounts intact.
+func (x *Index) enforceCapacity() {
+	if x.capacity <= 0 || x.lru == nil {
+		return
+	}
+	for x.lru.Len() > x.capacity {
+		el := x.lru.Back()
+		c := el.Value.(CID)
+		x.lru.Remove(el)
+		delete(x.lruPos, c)
+		e := &x.entries[c]
+		if e.ref > 0 && !e.unindexed {
+			delete(x.byFP, e.fp)
+			e.unindexed = true
+			x.stats.Evictions++
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package dedup
+
+import "testing"
+
+func TestInsertUnindexedNotVisible(t *testing.T) {
+	x := NewIndex()
+	fp := OfUint64(1)
+	c := x.InsertUnindexed(fp, 10)
+	if _, ok := x.Lookup(fp); ok {
+		t.Fatal("unindexed content visible to Lookup")
+	}
+	if idx, err := x.Indexed(c); err != nil || idx {
+		t.Fatalf("Indexed = %v, %v; want false", idx, err)
+	}
+	if x.Live() != 1 {
+		t.Fatalf("Live = %d", x.Live())
+	}
+}
+
+func TestPublishMakesVisible(t *testing.T) {
+	x := NewIndex()
+	fp := OfUint64(2)
+	c := x.InsertUnindexed(fp, 10)
+	if err := x.Publish(c); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := x.Lookup(fp)
+	if !ok || got != c {
+		t.Fatalf("Lookup after publish = %v, %v", got, ok)
+	}
+	if idx, _ := x.Indexed(c); !idx {
+		t.Fatal("Indexed false after publish")
+	}
+	// Re-publishing is a bug.
+	if err := x.Publish(c); err == nil {
+		t.Fatal("double publish accepted")
+	}
+}
+
+func TestPublishDuplicateFingerprintRejected(t *testing.T) {
+	x := NewIndex()
+	fp := OfUint64(3)
+	if _, err := x.Insert(fp, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := x.InsertUnindexed(fp, 2)
+	if err := x.Publish(c); err == nil {
+		t.Fatal("publishing a duplicate fingerprint accepted")
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	x := NewIndex()
+	fp := OfUint64(4)
+	to, _ := x.Insert(fp, 1)
+	x.IncRef(to) // ref 2
+	from := x.InsertUnindexed(fp, 2)
+	x.IncRef(from) // ref 2
+
+	ref, err := x.MergeInto(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != 4 {
+		t.Fatalf("merged ref = %d, want 4", ref)
+	}
+	if x.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", x.Live())
+	}
+	if _, err := x.Ref(from); err == nil {
+		t.Fatal("merged-away CID still alive")
+	}
+	// Peak reflects the merged count.
+	_, peak, _ := x.DecRef(to)
+	if peak != 4 {
+		t.Fatalf("peak = %d, want 4", peak)
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	x := NewIndex()
+	a, _ := x.Insert(OfUint64(5), 1)
+	b := x.InsertUnindexed(OfUint64(6), 2)
+	c := x.InsertUnindexed(OfUint64(5), 3)
+	d, _ := x.Insert(OfUint64(7), 4)
+
+	if _, err := x.MergeInto(a, a); err == nil {
+		t.Error("self-merge accepted")
+	}
+	if _, err := x.MergeInto(b, a); err == nil {
+		t.Error("merge of different fingerprints accepted")
+	}
+	if _, err := x.MergeInto(c, b); err == nil {
+		t.Error("merge into unindexed target accepted")
+	}
+	if _, err := x.MergeInto(a, d); err == nil {
+		t.Error("merge of indexed source accepted")
+	}
+	if _, err := x.MergeInto(CID(99), a); err == nil {
+		t.Error("merge of dead source accepted")
+	}
+	if _, err := x.MergeInto(c, CID(99)); err == nil {
+		t.Error("merge into dead target accepted")
+	}
+}
+
+func TestUnindexedDecRefToZero(t *testing.T) {
+	x := NewIndex()
+	fp := OfUint64(8)
+	c := x.InsertUnindexed(fp, 1)
+	ref, peak, err := x.DecRef(c)
+	if err != nil || ref != 0 || peak != 1 {
+		t.Fatalf("DecRef = %d, %d, %v", ref, peak, err)
+	}
+	// Must not have disturbed the (empty) fingerprint index.
+	if _, ok := x.Lookup(fp); ok {
+		t.Fatal("fingerprint visible after unindexed removal")
+	}
+	if x.Live() != 0 {
+		t.Fatalf("Live = %d", x.Live())
+	}
+}
+
+func TestIndexedDeadCID(t *testing.T) {
+	x := NewIndex()
+	if _, err := x.Indexed(CID(0)); err == nil {
+		t.Fatal("Indexed on dead CID accepted")
+	}
+	if err := x.Publish(CID(0)); err == nil {
+		t.Fatal("Publish on dead CID accepted")
+	}
+}
+
+func TestCAGCLifecycleScenario(t *testing.T) {
+	// Simulates the CAGC flow: three user writes of the same content
+	// (unindexed), then GC hashes them one by one.
+	x := NewIndex()
+	fp := OfUint64(9)
+	c1 := x.InsertUnindexed(fp, 1)
+	c2 := x.InsertUnindexed(fp, 2)
+	c3 := x.InsertUnindexed(fp, 3)
+	if x.Live() != 3 {
+		t.Fatalf("Live = %d, want 3 (duplicates stored separately pre-GC)", x.Live())
+	}
+
+	// GC migrates c1: miss -> publish.
+	if _, ok := x.Lookup(fp); ok {
+		t.Fatal("premature index hit")
+	}
+	if err := x.Publish(c1); err != nil {
+		t.Fatal(err)
+	}
+	// GC migrates c2: hit -> merge into c1.
+	hit, ok := x.Lookup(fp)
+	if !ok || hit != c1 {
+		t.Fatalf("lookup = %v, %v", hit, ok)
+	}
+	if ref, err := x.MergeInto(c2, c1); err != nil || ref != 2 {
+		t.Fatalf("merge c2: ref=%d err=%v", ref, err)
+	}
+	// GC migrates c3: hit -> merge.
+	if ref, err := x.MergeInto(c3, c1); err != nil || ref != 3 {
+		t.Fatalf("merge c3: ref=%d err=%v", ref, err)
+	}
+	if x.Live() != 1 {
+		t.Fatalf("Live = %d, want 1 after GC dedup", x.Live())
+	}
+	if h := x.RefHistogram(); h != [4]int{0, 0, 1, 0} {
+		t.Fatalf("histogram = %v", h)
+	}
+}

@@ -1,0 +1,29 @@
+package event
+
+import "testing"
+
+func BenchmarkSimScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSim()
+		for j := 0; j < 100; j++ {
+			s.After(Time(j%17), func(Time) {})
+		}
+		s.Run()
+	}
+}
+
+func BenchmarkTimelineReserve(b *testing.B) {
+	tl := NewTimeline()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tl.Reserve(Time(i), 10)
+	}
+}
+
+func BenchmarkPoolReserve(b *testing.B) {
+	p := NewPool(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Reserve(Time(i), 10)
+	}
+}

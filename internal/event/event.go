@@ -1,0 +1,183 @@
+// Package event provides the discrete-event core used by the SSD
+// simulator: a virtual clock measured in integer nanoseconds and a
+// deterministic min-heap event queue.
+//
+// The queue orders events by firing time; events scheduled for the same
+// instant fire in the order they were scheduled (FIFO tie-breaking via a
+// monotonically increasing sequence number), so simulations are fully
+// deterministic and independent of map iteration or scheduling jitter.
+package event
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. Virtual time has no relation to wall-clock time.
+type Time int64
+
+// Common duration units expressed in Time ticks.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time with a readable unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Micros returns the time as a float64 number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the time as a float64 number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Handler is the body of a scheduled event. It runs with the simulation
+// clock set to the event's firing time.
+type Handler func(now Time)
+
+// item is a scheduled event inside the heap.
+type item struct {
+	at   Time
+	seq  uint64
+	fn   Handler
+	heap int // index within the heap slice
+}
+
+// queue implements heap.Interface over scheduled items.
+type queue []*item
+
+func (q queue) Len() int { return len(q) }
+
+func (q queue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q queue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heap = i
+	q[j].heap = j
+}
+
+func (q *queue) Push(x any) {
+	it := x.(*item)
+	it.heap = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *queue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// ErrPastEvent is returned by Sim.At when an event is scheduled before
+// the current simulation time.
+var ErrPastEvent = errors.New("event: scheduled in the past")
+
+// Sim is a discrete-event simulation loop. The zero value is not usable;
+// construct with NewSim.
+type Sim struct {
+	now     Time
+	seq     uint64
+	q       queue
+	stopped bool
+	fired   uint64
+}
+
+// NewSim returns a simulation whose clock starts at zero.
+func NewSim() *Sim {
+	return &Sim{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Fired reports how many events have been executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (s *Sim) Pending() int { return len(s.q) }
+
+// At schedules fn to run at absolute time at. Scheduling an event in the
+// past returns ErrPastEvent and does not enqueue the event.
+func (s *Sim) At(at Time, fn Handler) error {
+	if at < s.now {
+		return fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, s.now)
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.q, it)
+	return nil
+}
+
+// After schedules fn to run delay ticks from now. A negative delay is
+// clamped to zero, i.e. the event fires at the current time after all
+// previously scheduled same-time events.
+func (s *Sim) After(delay Time, fn Handler) {
+	if delay < 0 {
+		delay = 0
+	}
+	// The only error At can return is ErrPastEvent, impossible here.
+	_ = s.At(s.now+delay, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+// Pending events remain queued.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Step executes the single earliest pending event, advancing the clock
+// to its firing time. It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	if len(s.q) == 0 {
+		return false
+	}
+	it := heap.Pop(&s.q).(*item)
+	s.now = it.at
+	s.fired++
+	it.fn(it.at)
+	return true
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns the final simulation time.
+func (s *Sim) Run() Time {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+	return s.now
+}
+
+// RunUntil executes events with firing time <= deadline. Events beyond
+// the deadline stay queued; the clock is advanced to the deadline if the
+// simulation ran dry earlier.
+func (s *Sim) RunUntil(deadline Time) Time {
+	s.stopped = false
+	for !s.stopped && len(s.q) > 0 && s.q[0].at <= deadline {
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return s.now
+}

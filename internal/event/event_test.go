@@ -1,0 +1,281 @@
+package event
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{12 * Microsecond, "12.000us"},
+		{1500 * Microsecond, "1.500ms"},
+		{2 * Second, "2.000s"},
+		{0, "0ns"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (14 * Microsecond).Micros(); got != 14 {
+		t.Errorf("Micros = %v, want 14", got)
+	}
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Errorf("Millis = %v, want 1.5", got)
+	}
+}
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.After(30, func(Time) { got = append(got, 3) })
+	s.After(10, func(Time) { got = append(got, 1) })
+	s.After(20, func(Time) { got = append(got, 2) })
+	end := s.Run()
+	if end != 30 {
+		t.Fatalf("final time = %v, want 30", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSimFIFOTieBreak(t *testing.T) {
+	s := NewSim()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.After(42, func(Time) { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	var trace []Time
+	s.After(10, func(now Time) {
+		trace = append(trace, now)
+		s.After(5, func(now Time) {
+			trace = append(trace, now)
+		})
+	})
+	s.Run()
+	if len(trace) != 2 || trace[0] != 10 || trace[1] != 15 {
+		t.Fatalf("trace = %v, want [10 15]", trace)
+	}
+}
+
+func TestSimPastEvent(t *testing.T) {
+	s := NewSim()
+	s.After(100, func(Time) {})
+	s.Run()
+	if err := s.At(50, func(Time) {}); err == nil {
+		t.Fatal("scheduling in the past succeeded, want error")
+	}
+}
+
+func TestSimNegativeDelayClamped(t *testing.T) {
+	s := NewSim()
+	ran := false
+	s.After(-5, func(now Time) {
+		if now != 0 {
+			t.Errorf("fired at %v, want 0", now)
+		}
+		ran = true
+	})
+	s.Run()
+	if !ran {
+		t.Fatal("clamped event never fired")
+	}
+}
+
+func TestSimStop(t *testing.T) {
+	s := NewSim()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(Time(i), func(Time) {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		s.After(at, func(now Time) { fired = append(fired, now) })
+	}
+	s.RunUntil(12)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if s.Now() != 12 {
+		t.Fatalf("now = %v, want 12", s.Now())
+	}
+	s.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4 events", fired)
+	}
+}
+
+func TestSimRunUntilAdvancesIdleClock(t *testing.T) {
+	s := NewSim()
+	s.RunUntil(1000)
+	if s.Now() != 1000 {
+		t.Fatalf("now = %v, want 1000", s.Now())
+	}
+}
+
+func TestSimFiredCounter(t *testing.T) {
+	s := NewSim()
+	for i := 0; i < 17; i++ {
+		s.After(Time(i), func(Time) {})
+	}
+	s.Run()
+	if s.Fired() != 17 {
+		t.Fatalf("Fired = %d, want 17", s.Fired())
+	}
+}
+
+// Property: regardless of insertion order, events fire in nondecreasing
+// time order.
+func TestSimSortedFiringProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		s := NewSim()
+		var fired []Time
+		for _, d := range delays {
+			s.After(Time(d), func(now Time) { fired = append(fired, now) })
+		}
+		s.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineSequentialReservations(t *testing.T) {
+	tl := NewTimeline()
+	s1, e1 := tl.Reserve(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first reservation [%v,%v), want [0,10)", s1, e1)
+	}
+	// Requested at 5 but the resource is busy until 10.
+	s2, e2 := tl.Reserve(5, 7)
+	if s2 != 10 || e2 != 17 {
+		t.Fatalf("contended reservation [%v,%v), want [10,17)", s2, e2)
+	}
+	// Requested after the frontier: starts exactly at request time.
+	s3, e3 := tl.Reserve(100, 3)
+	if s3 != 100 || e3 != 103 {
+		t.Fatalf("idle reservation [%v,%v), want [100,103)", s3, e3)
+	}
+}
+
+func TestTimelineReserveAfterDependency(t *testing.T) {
+	tl := NewTimeline()
+	s, e := tl.ReserveAfter(0, 50, 10)
+	if s != 50 || e != 60 {
+		t.Fatalf("got [%v,%v), want [50,60)", s, e)
+	}
+}
+
+func TestTimelineNegativeDuration(t *testing.T) {
+	tl := NewTimeline()
+	s, e := tl.Reserve(10, -5)
+	if s != 10 || e != 10 {
+		t.Fatalf("got [%v,%v), want [10,10)", s, e)
+	}
+	if tl.Busy() != 0 {
+		t.Fatalf("busy = %v, want 0", tl.Busy())
+	}
+}
+
+func TestTimelineAccounting(t *testing.T) {
+	tl := NewTimeline()
+	tl.Reserve(0, 10)
+	tl.Reserve(0, 20)
+	if tl.Busy() != 30 {
+		t.Fatalf("busy = %v, want 30", tl.Busy())
+	}
+	if tl.Ops() != 2 {
+		t.Fatalf("ops = %d, want 2", tl.Ops())
+	}
+	if u := tl.Utilization(60); u != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", u)
+	}
+	if u := tl.Utilization(0); u != 0 {
+		t.Fatalf("utilization at zero horizon = %v, want 0", u)
+	}
+}
+
+// Property: reservations never overlap and never start before requested.
+func TestTimelineNoOverlapProperty(t *testing.T) {
+	prop := func(reqs []struct {
+		At  uint16
+		Dur uint8
+	}) bool {
+		tl := NewTimeline()
+		prevEnd := Time(0)
+		for _, r := range reqs {
+			s, e := tl.Reserve(Time(r.At), Time(r.Dur))
+			if s < Time(r.At) || s < prevEnd || e != s+Time(r.Dur) {
+				return false
+			}
+			prevEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimManyRandomEventsDeterministic(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim()
+		var fired []Time
+		for i := 0; i < 1000; i++ {
+			s.After(Time(rng.Intn(500)), func(now Time) { fired = append(fired, now) })
+		}
+		s.Run()
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic event count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic firing at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package event
+
+// Pool models K identical units of a resource (e.g., the controller's
+// hash engines): each reservation runs on whichever unit frees first.
+// A Pool with one unit behaves exactly like a Timeline.
+type Pool struct {
+	units []*Timeline
+}
+
+// NewPool returns a pool of k units (k < 1 is treated as 1).
+func NewPool(k int) *Pool {
+	if k < 1 {
+		k = 1
+	}
+	p := &Pool{units: make([]*Timeline, k)}
+	for i := range p.units {
+		p.units[i] = NewTimeline()
+	}
+	return p
+}
+
+// Units returns the number of parallel units.
+func (p *Pool) Units() int { return len(p.units) }
+
+// Busy returns the cumulative busy time across all units.
+func (p *Pool) Busy() Time {
+	var b Time
+	for _, u := range p.units {
+		b += u.Busy()
+	}
+	return b
+}
+
+// Ops returns the total number of reservations.
+func (p *Pool) Ops() uint64 {
+	var n uint64
+	for _, u := range p.units {
+		n += u.Ops()
+	}
+	return n
+}
+
+// ReserveAfter books dur ticks on the earliest-free unit, starting no
+// earlier than at and no earlier than dep.
+func (p *Pool) ReserveAfter(at, dep, dur Time) (start, end Time) {
+	best := p.units[0]
+	for _, u := range p.units[1:] {
+		if u.FreeAt() < best.FreeAt() {
+			best = u
+		}
+	}
+	return best.ReserveAfter(at, dep, dur)
+}
+
+// Reserve books dur ticks on the earliest-free unit starting no earlier
+// than at.
+func (p *Pool) Reserve(at, dur Time) (start, end Time) {
+	return p.ReserveAfter(at, 0, dur)
+}

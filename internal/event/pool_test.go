@@ -1,0 +1,114 @@
+package event
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolSingleUnitMatchesTimeline(t *testing.T) {
+	p := NewPool(1)
+	tl := NewTimeline()
+	reqs := []struct{ at, dur Time }{{0, 10}, {5, 7}, {100, 3}, {90, 2}}
+	for _, r := range reqs {
+		ps, pe := p.Reserve(r.at, r.dur)
+		ts, te := tl.Reserve(r.at, r.dur)
+		if ps != ts || pe != te {
+			t.Fatalf("pool(1) diverged from timeline: [%v,%v) vs [%v,%v)", ps, pe, ts, te)
+		}
+	}
+	if p.Busy() != tl.Busy() || p.Ops() != tl.Ops() {
+		t.Fatalf("accounting diverged: busy %v/%v ops %d/%d", p.Busy(), tl.Busy(), p.Ops(), tl.Ops())
+	}
+}
+
+func TestPoolParallelism(t *testing.T) {
+	p := NewPool(2)
+	// Two simultaneous reservations run in parallel on 2 units.
+	_, e1 := p.Reserve(0, 10)
+	_, e2 := p.Reserve(0, 10)
+	if e1 != 10 || e2 != 10 {
+		t.Fatalf("ends = %v, %v; want both 10", e1, e2)
+	}
+	// A third queues behind the earliest-free unit.
+	s3, e3 := p.Reserve(0, 5)
+	if s3 != 10 || e3 != 15 {
+		t.Fatalf("third = [%v,%v), want [10,15)", s3, e3)
+	}
+}
+
+func TestPoolClampsUnits(t *testing.T) {
+	if NewPool(0).Units() != 1 || NewPool(-3).Units() != 1 {
+		t.Fatal("unit clamping broken")
+	}
+	if NewPool(7).Units() != 7 {
+		t.Fatal("unit count wrong")
+	}
+}
+
+func TestPoolReserveAfter(t *testing.T) {
+	p := NewPool(2)
+	s, e := p.ReserveAfter(0, 50, 10)
+	if s != 50 || e != 60 {
+		t.Fatalf("got [%v,%v), want [50,60)", s, e)
+	}
+}
+
+func TestPoolBusyAggregates(t *testing.T) {
+	p := NewPool(3)
+	p.Reserve(0, 5)
+	p.Reserve(0, 7)
+	p.Reserve(0, 9)
+	if p.Busy() != 21 {
+		t.Fatalf("busy = %v, want 21", p.Busy())
+	}
+	if p.Ops() != 3 {
+		t.Fatalf("ops = %d, want 3", p.Ops())
+	}
+}
+
+// Property: with k units, at most k reservations overlap any instant,
+// and a pool never finishes later than a single timeline would.
+func TestPoolNoOverbookingProperty(t *testing.T) {
+	type req struct {
+		At  uint16
+		Dur uint8
+	}
+	prop := func(k uint8, reqs []req) bool {
+		units := int(k%4) + 1
+		p := NewPool(units)
+		tl := NewTimeline()
+		type iv struct{ s, e Time }
+		var ivs []iv
+		for _, r := range reqs {
+			s, e := p.Reserve(Time(r.At), Time(r.Dur))
+			if s < Time(r.At) || e != s+Time(r.Dur) {
+				return false
+			}
+			_, te := tl.Reserve(Time(r.At), Time(r.Dur))
+			if e > te {
+				return false // pool slower than one unit: impossible
+			}
+			ivs = append(ivs, iv{s, e})
+		}
+		// Check the overlap bound at every interval start.
+		for i, a := range ivs {
+			if a.s == a.e {
+				continue
+			}
+			overlap := 0
+			for _, b := range ivs {
+				if b.s <= a.s && a.s < b.e {
+					overlap++
+				}
+			}
+			if overlap > units {
+				return false
+			}
+			_ = i
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

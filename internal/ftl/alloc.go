@@ -1,0 +1,249 @@
+package ftl
+
+import (
+	"fmt"
+
+	"cagc/internal/dedup"
+	"cagc/internal/flash"
+)
+
+// Page allocation. The hot region keeps one open block per die and
+// stripes consecutive allocations round-robin across dies (channel
+// striping, as FlashSim does), so multi-page requests and GC copies
+// exploit die-level parallelism. The cold region keeps a single open
+// block: cold writes are rare, GC-driven, and benefit from being packed
+// together.
+
+// popFree removes a free block, preferring die pref; any die works if
+// pref is exhausted. Returns ok=false when the device has no free
+// blocks at all.
+func (f *FTL) popFree(pref flash.DieID) (flash.BlockID, bool) {
+	dies := len(f.freeByDie)
+	for i := 0; i < dies; i++ {
+		d := (int(pref) + i) % dies
+		if n := len(f.freeByDie[d]); n > 0 {
+			b := f.freeByDie[d][n-1]
+			f.freeByDie[d] = f.freeByDie[d][:n-1]
+			f.freeCount--
+			return b, true
+		}
+	}
+	return 0, false
+}
+
+// pushFree returns an erased block to its die's free list.
+func (f *FTL) pushFree(b flash.BlockID) {
+	die := f.dev.Geometry().DieOfBlock(b)
+	f.freeByDie[die] = append(f.freeByDie[die], b)
+	f.freeCount++
+	f.blocks[b].state = blkFree
+}
+
+// allocPage returns the next programmable page in the given region.
+func (f *FTL) allocPage(region Region) (flash.PPN, flash.DieID, error) {
+	g := f.dev.Geometry()
+	if region == Cold && f.opts.HotCold {
+		if !f.hasCold {
+			b, ok := f.popFree(flash.DieID(f.hotRR % g.Dies()))
+			if !ok {
+				return flash.InvalidPPN, 0, ErrDeviceFull
+			}
+			f.coldOpen = b
+			f.hasCold = true
+			f.blocks[b].state = blkOpen
+			f.blocks[b].region = Cold
+		}
+		blk, err := f.dev.Block(f.coldOpen)
+		if err != nil {
+			return flash.InvalidPPN, 0, err
+		}
+		ppn := g.PageOf(f.coldOpen, blk.Valid()+blk.Invalid())
+		return ppn, g.DieOf(ppn), nil
+	}
+
+	// Hot region: round-robin across per-die open blocks.
+	dies := g.Dies()
+	for i := 0; i < dies; i++ {
+		d := (f.hotRR + i) % dies
+		if !f.hasHot[d] {
+			b, ok := f.popFree(flash.DieID(d))
+			if !ok {
+				continue
+			}
+			f.hotOpen[d] = b
+			f.hasHot[d] = true
+			f.blocks[b].state = blkOpen
+			f.blocks[b].region = Hot
+		}
+		b := f.hotOpen[d]
+		blk, err := f.dev.Block(b)
+		if err != nil {
+			return flash.InvalidPPN, 0, err
+		}
+		next := blk.Valid() + blk.Invalid()
+		if next >= g.PagesPerBlock {
+			// Stale open block (shouldn't happen; closeIfFull retires
+			// them), repair by closing.
+			f.blocks[b].state = blkClosed
+			f.hasHot[d] = false
+			i--
+			continue
+		}
+		f.hotRR = (d + 1) % dies
+		ppn := g.PageOf(b, next)
+		return ppn, g.DieOf(ppn), nil
+	}
+	return flash.InvalidPPN, 0, ErrDeviceFull
+}
+
+// closeIfFull retires the containing block from its frontier once every
+// page is programmed, making it GC-eligible.
+func (f *FTL) closeIfFull(ppn flash.PPN) {
+	g := f.dev.Geometry()
+	b := g.BlockOf(ppn)
+	blk, err := f.dev.Block(b)
+	if err != nil || !blk.Full() {
+		return
+	}
+	f.blocks[b].state = blkClosed
+	if f.hasCold && f.coldOpen == b {
+		f.hasCold = false
+		return
+	}
+	die := g.DieOfBlock(b)
+	if f.hasHot[die] && f.hotOpen[die] == b {
+		f.hasHot[die] = false
+	}
+}
+
+// regionFor chooses a page's region from its reference count.
+func (f *FTL) regionFor(ref int) Region {
+	if f.opts.HotCold && ref > f.opts.RefThreshold {
+		return Cold
+	}
+	return Hot
+}
+
+// RegionStats summarizes hot/cold occupancy — evidence that the
+// reference-count placement actually separates the regions.
+type RegionStats struct {
+	HotBlocks  int // non-free blocks tagged hot
+	ColdBlocks int
+	HotValid   int // valid pages in each region
+	ColdValid  int
+}
+
+// ColdShare returns cold valid pages / all valid pages (0 when empty).
+func (r RegionStats) ColdShare() float64 {
+	total := r.HotValid + r.ColdValid
+	if total == 0 {
+		return 0
+	}
+	return float64(r.ColdValid) / float64(total)
+}
+
+// RegionStats scans the block metadata (O(blocks)).
+func (f *FTL) RegionStats() RegionStats {
+	var rs RegionStats
+	for b := range f.blocks {
+		if f.blocks[b].state == blkFree {
+			continue
+		}
+		blk, err := f.dev.Block(flash.BlockID(b))
+		if err != nil {
+			continue
+		}
+		if f.blocks[b].region == Cold {
+			rs.ColdBlocks++
+			rs.ColdValid += blk.Valid()
+		} else {
+			rs.HotBlocks++
+			rs.HotValid += blk.Valid()
+		}
+	}
+	return rs
+}
+
+// CheckInvariants walks every structure and cross-checks them; tests
+// call it after workloads. It is O(pages) and not used on hot paths.
+func (f *FTL) CheckInvariants() error {
+	g := f.dev.Geometry()
+	// Every mapped LPN points at a live CID whose PPN is valid and
+	// whose stored tag matches the fingerprint.
+	for lpn, c := range f.mapping {
+		if c == dedup.NilCID {
+			continue
+		}
+		ppn, err := f.idx.PPN(c)
+		if err != nil {
+			return fmt.Errorf("lpn %d -> dead CID %d: %w", lpn, c, err)
+		}
+		st, err := f.dev.PageStateOf(ppn)
+		if err != nil {
+			return err
+		}
+		if st != flash.PageValid {
+			return fmt.Errorf("lpn %d -> CID %d -> ppn %d in state %v", lpn, c, ppn, st)
+		}
+		if f.owners[ppn] != c {
+			return fmt.Errorf("ppn %d owner %d != CID %d", ppn, f.owners[ppn], c)
+		}
+		tag, _ := f.dev.Tag(ppn)
+		fp, _ := f.idx.FP(c)
+		if tag != uint64(fp) {
+			return fmt.Errorf("ppn %d tag %#x != fp %#x", ppn, tag, uint64(fp))
+		}
+	}
+	// Every valid page has an owner, every free/invalid page has none.
+	validOwned := 0
+	for p := 0; p < g.TotalPages(); p++ {
+		st, _ := f.dev.PageStateOf(flash.PPN(p))
+		owner := f.owners[p]
+		switch st {
+		case flash.PageValid:
+			if owner == dedup.NilCID {
+				return fmt.Errorf("valid ppn %d has no owner", p)
+			}
+			ppn, err := f.idx.PPN(owner)
+			if err != nil || ppn != flash.PPN(p) {
+				return fmt.Errorf("valid ppn %d owner %d maps to %d (%v)", p, owner, ppn, err)
+			}
+			validOwned++
+		default:
+			if owner != dedup.NilCID {
+				return fmt.Errorf("%v ppn %d has owner %d", st, p, owner)
+			}
+		}
+	}
+	// Valid pages == live contents.
+	if validOwned != f.idx.Live() {
+		return fmt.Errorf("%d valid pages but %d live contents", validOwned, f.idx.Live())
+	}
+	// Free accounting matches the block states.
+	freeBlocks := 0
+	for b := range f.blocks {
+		blk, _ := f.dev.Block(flash.BlockID(b))
+		switch f.blocks[b].state {
+		case blkFree:
+			freeBlocks++
+			if blk.Free() != g.PagesPerBlock {
+				return fmt.Errorf("free block %d has programmed pages", b)
+			}
+		case blkClosed:
+			if !blk.Full() {
+				return fmt.Errorf("closed block %d not full", b)
+			}
+		}
+	}
+	if freeBlocks != f.freeCount {
+		return fmt.Errorf("freeCount %d != counted %d", f.freeCount, freeBlocks)
+	}
+	perDie := 0
+	for _, l := range f.freeByDie {
+		perDie += len(l)
+	}
+	if perDie != f.freeCount {
+		return fmt.Errorf("free lists hold %d, freeCount %d", perDie, f.freeCount)
+	}
+	return nil
+}

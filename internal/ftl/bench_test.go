@@ -1,0 +1,52 @@
+package ftl
+
+import (
+	"testing"
+
+	"cagc/internal/dedup"
+	"cagc/internal/event"
+	"cagc/internal/flash"
+)
+
+func benchFTL(b *testing.B, opts Options) *FTL {
+	b.Helper()
+	cfg := flash.Config{
+		Geometry: flash.Geometry{
+			Channels: 4, DiesPerChan: 2, PlanesPerDie: 1,
+			BlocksPerPlan: 16, PagesPerBlock: 64, PageSize: 4096,
+		},
+		Latencies:     flash.TableILatencies(),
+		OverProvision: 0.07,
+	}
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := New(dev, uint64(float64(cfg.UserPages())*0.70), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// benchWrites measures sustained FTL write throughput including GC.
+func benchWrites(b *testing.B, opts Options, pool uint64) {
+	f := benchFTL(b, opts)
+	logical := f.LogicalPages()
+	now := event.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lpn := uint64(i*2654435761) % logical
+		fp := dedup.OfUint64(uint64(i) % pool)
+		end, err := f.Write(now, lpn, fp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		now = end
+	}
+}
+
+func BenchmarkFTLWriteBaseline(b *testing.B) { benchWrites(b, BaselineOptions(), 1<<62) }
+func BenchmarkFTLWriteCAGC(b *testing.B)     { benchWrites(b, CAGCOptions(), 256) }
+func BenchmarkFTLWriteInline(b *testing.B)   { benchWrites(b, InlineDedupeOptions(), 256) }

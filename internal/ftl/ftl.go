@@ -1,0 +1,357 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"cagc/internal/dedup"
+	"cagc/internal/event"
+	"cagc/internal/flash"
+	"cagc/internal/metrics"
+)
+
+// Region labels the two block groups of the paper's placement scheme.
+type Region uint8
+
+const (
+	// Hot holds pages with reference count <= threshold (frequently
+	// invalidated).
+	Hot Region = iota
+	// Cold holds pages with reference count > threshold (rarely
+	// invalidated).
+	Cold
+	numRegions
+)
+
+func (r Region) String() string {
+	if r == Hot {
+		return "hot"
+	}
+	return "cold"
+}
+
+// blockState tracks what the FTL is doing with each block.
+type blockState uint8
+
+const (
+	blkFree   blockState = iota // erased, in a free list
+	blkOpen                     // a write frontier
+	blkClosed                   // fully programmed, GC-eligible
+	blkDead                     // worn out and retired (bad block)
+)
+
+// Errors surfaced by FTL operations.
+var (
+	ErrBadLPN     = errors.New("ftl: logical page out of range")
+	ErrDeviceFull = errors.New("ftl: no free pages and nothing to reclaim")
+	ErrCorruption = errors.New("ftl: content tag mismatch (mapping corruption)")
+)
+
+// FTL is one SSD translation layer instance bound to a flash device.
+// It is single-threaded by design: the discrete-event simulator calls
+// it in virtual-time order.
+type FTL struct {
+	dev  *flash.Device
+	opts Options
+
+	idx     *dedup.Index
+	mapping []dedup.CID            // LPN -> CID (NilCID = unmapped)
+	owners  []dedup.CID            // PPN -> owning CID (NilCID = none)
+	lpnsOf  map[dedup.CID][]uint64 // lazy reverse map for GC-time merges
+
+	blocks    []blockMeta
+	freeByDie [][]flash.BlockID
+	freeCount int
+	hotRR     int // round-robin die cursor for the hot region
+	coldOpen  flash.BlockID
+	hasCold   bool
+	hotOpen   []flash.BlockID // per-die open hot block
+	hasHot    []bool
+
+	inGC        bool
+	gcBusyUntil event.Time // horizon of the latest GC flash operation
+	cmt         *cmt       // nil unless Options.MappingCache > 0
+	stats       Stats
+
+	// RefDist records the peak reference count of every page at the
+	// moment it becomes invalid (Figure 6).
+	RefDist metrics.RefcountDist
+
+	logicalPages uint64
+}
+
+type blockMeta struct {
+	state  blockState
+	region Region
+}
+
+// New builds an FTL over dev exposing logicalPages of address space.
+// logicalPages must leave enough physical headroom for GC to make
+// progress (at most ~95% of the device's user-visible pages).
+func New(dev *flash.Device, logicalPages uint64, opts Options) (*FTL, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if logicalPages == 0 {
+		return nil, fmt.Errorf("ftl: zero logical pages")
+	}
+	cfg := dev.Config()
+	// The free-block fraction can never exceed (total-logical)/total
+	// once the address space is fully mapped (without dedup every
+	// mapped page occupies one flash page). If that ceiling is at or
+	// below the GC watermark, GC can never reach its refill target and
+	// every write degenerates into a futile reclaim scan — a
+	// misconfiguration, rejected here.
+	total := uint64(cfg.Geometry.TotalPages())
+	if ceiling := uint64(float64(total) * (1 - o.Watermark - 0.05)); logicalPages > ceiling {
+		return nil, fmt.Errorf(
+			"ftl: %d logical pages on a %d-page device leaves the free ceiling below the %.0f%% GC watermark (max %d logical pages)",
+			logicalPages, total, o.Watermark*100, ceiling)
+	}
+	g := dev.Geometry()
+	f := &FTL{
+		dev:          dev,
+		opts:         o,
+		idx:          dedup.NewIndex(),
+		mapping:      make([]dedup.CID, logicalPages),
+		owners:       make([]dedup.CID, g.TotalPages()),
+		lpnsOf:       make(map[dedup.CID][]uint64),
+		blocks:       make([]blockMeta, g.TotalBlocks()),
+		freeByDie:    make([][]flash.BlockID, g.Dies()),
+		hotOpen:      make([]flash.BlockID, g.Dies()),
+		hasHot:       make([]bool, g.Dies()),
+		logicalPages: logicalPages,
+	}
+	for i := range f.mapping {
+		f.mapping[i] = dedup.NilCID
+	}
+	for i := range f.owners {
+		f.owners[i] = dedup.NilCID
+	}
+	for b := 0; b < g.TotalBlocks(); b++ {
+		die := g.DieOfBlock(flash.BlockID(b))
+		f.freeByDie[die] = append(f.freeByDie[die], flash.BlockID(b))
+	}
+	f.freeCount = g.TotalBlocks()
+	if o.IndexCapacity > 0 {
+		f.idx.SetCapacity(o.IndexCapacity)
+	}
+	if o.MappingCache > 0 {
+		f.cmt = newCMT(o.MappingCache)
+	}
+	return f, nil
+}
+
+// Options returns the normalized options in effect.
+func (f *FTL) Options() Options { return f.opts }
+
+// Stats returns a copy of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+// Device returns the underlying flash device.
+func (f *FTL) Device() *flash.Device { return f.dev }
+
+// Index exposes the dedup index (read-mostly; used by reports and the
+// Figure-6 analysis).
+func (f *FTL) Index() *dedup.Index { return f.idx }
+
+// LogicalPages returns the exported address-space size.
+func (f *FTL) LogicalPages() uint64 { return f.logicalPages }
+
+// GCBusyUntil returns the virtual time up to which garbage-collection
+// flash operations have been scheduled. A request arriving before this
+// horizon contends with GC — it falls inside a "GC period" in the
+// paper's Figure-11 sense.
+func (f *FTL) GCBusyUntil() event.Time { return f.gcBusyUntil }
+
+// FreeBlockFraction returns the free share of all blocks.
+func (f *FTL) FreeBlockFraction() float64 {
+	return float64(f.freeCount) / float64(len(f.blocks))
+}
+
+func (f *FTL) checkLPN(lpn uint64) error {
+	if lpn >= f.logicalPages {
+		return fmt.Errorf("%w: %d (have %d)", ErrBadLPN, lpn, f.logicalPages)
+	}
+	return nil
+}
+
+// bind points lpn at cid, maintaining the lazy reverse map.
+func (f *FTL) bind(lpn uint64, c dedup.CID) {
+	f.mapping[lpn] = c
+	f.lpnsOf[c] = append(f.lpnsOf[c], lpn)
+}
+
+// Write services one page-sized user write of content fp to lpn at
+// arrival time at. It returns the completion time.
+func (f *FTL) Write(at event.Time, lpn uint64, fp dedup.Fingerprint) (event.Time, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	f.stats.UserWritePages++
+	if err := f.maybeGC(at); err != nil {
+		return 0, err
+	}
+	at = f.chargeMapAccess(at, lpn, true)
+
+	old := f.mapping[lpn]
+
+	if f.opts.InlineDedup {
+		return f.writeInline(at, lpn, fp, old)
+	}
+
+	// Baseline / CAGC write path: program immediately; content is
+	// unindexed (never hashed on the foreground path).
+	ppn, die, err := f.allocPage(Hot)
+	if err != nil {
+		return 0, err
+	}
+	_ = die
+	end, err := f.dev.ProgramPage(at, at, ppn, uint64(fp))
+	if err != nil {
+		return 0, err
+	}
+	c := f.idx.InsertUnindexed(fp, ppn)
+	f.owners[ppn] = c
+	f.closeIfFull(ppn)
+	if old != dedup.NilCID {
+		if err := f.unbindOld(old); err != nil {
+			return 0, err
+		}
+	}
+	f.bind(lpn, c)
+	f.stats.UserPrograms++
+	return end, nil
+}
+
+// writeInline is the Inline-Dedupe write path: hash + lookup before any
+// flash program.
+func (f *FTL) writeInline(at event.Time, lpn uint64, fp dedup.Fingerprint, old dedup.CID) (event.Time, error) {
+	hashEnd := f.reserveHash(at, at)
+	if c2, hit := f.idx.Lookup(fp); hit {
+		// Redundant write: metadata update only.
+		if _, err := f.idx.IncRef(c2); err != nil {
+			return 0, err
+		}
+		if old != dedup.NilCID {
+			if err := f.unbindOld(old); err != nil {
+				return 0, err
+			}
+		}
+		f.bind(lpn, c2)
+		f.stats.InlineDupHits++
+		return hashEnd + f.opts.CtrlLatency, nil
+	}
+	ppn, _, err := f.allocPage(Hot)
+	if err != nil {
+		return 0, err
+	}
+	end, err := f.dev.ProgramPage(at, hashEnd, ppn, uint64(fp))
+	if err != nil {
+		return 0, err
+	}
+	c, err := f.idx.Insert(fp, ppn)
+	if err != nil {
+		return 0, err
+	}
+	f.owners[ppn] = c
+	f.closeIfFull(ppn)
+	if old != dedup.NilCID {
+		if err := f.unbindOld(old); err != nil {
+			return 0, err
+		}
+	}
+	f.bind(lpn, c)
+	f.stats.UserPrograms++
+	return end, nil
+}
+
+// unbindOld drops the reference an overwritten/trimmed LPN held.
+func (f *FTL) unbindOld(old dedup.CID) error {
+	// Remember the PPN before the DecRef so a death can invalidate it
+	// without scanning.
+	ppn, err := f.idx.PPN(old)
+	if err != nil {
+		return err
+	}
+	ref, peak, err := f.idx.DecRef(old)
+	if err != nil {
+		return err
+	}
+	if ref > 0 {
+		return nil
+	}
+	if err := f.dev.Invalidate(ppn); err != nil {
+		return fmt.Errorf("ftl: invalidating dead content: %w", err)
+	}
+	f.owners[ppn] = dedup.NilCID
+	delete(f.lpnsOf, old)
+	f.RefDist.Add(peak)
+	return nil
+}
+
+// Read services one page-sized user read. Unmapped pages are served
+// from the controller (all-zero page semantics).
+func (f *FTL) Read(at event.Time, lpn uint64) (event.Time, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	f.stats.UserReadPages++
+	at = f.chargeMapAccess(at, lpn, false)
+	c := f.mapping[lpn]
+	if c == dedup.NilCID {
+		return at + f.opts.CtrlLatency, nil
+	}
+	ppn, err := f.idx.PPN(c)
+	if err != nil {
+		return 0, err
+	}
+	end, err := f.dev.ReadPage(at, ppn)
+	if err != nil {
+		return 0, err
+	}
+	// Integrity check: the stored content stamp must match the CID's
+	// fingerprint. A mismatch means the mapping or GC corrupted data.
+	tag, err := f.dev.Tag(ppn)
+	if err != nil {
+		return 0, err
+	}
+	fp, err := f.idx.FP(c)
+	if err != nil {
+		return 0, err
+	}
+	if tag != uint64(fp) {
+		return 0, fmt.Errorf("%w: lpn %d ppn %d tag %#x fp %#x", ErrCorruption, lpn, ppn, tag, uint64(fp))
+	}
+	return end, nil
+}
+
+// Trim discards lpn (file delete): the reference is dropped, and the
+// page is invalidated only if this was the last reference — the
+// deduplication semantics of Section III-C.
+func (f *FTL) Trim(at event.Time, lpn uint64) (event.Time, error) {
+	if err := f.checkLPN(lpn); err != nil {
+		return 0, err
+	}
+	f.stats.UserTrimPages++
+	at = f.chargeMapAccess(at, lpn, true)
+	c := f.mapping[lpn]
+	if c == dedup.NilCID {
+		return at + f.opts.CtrlLatency, nil
+	}
+	if err := f.unbindOld(c); err != nil {
+		return 0, err
+	}
+	f.mapping[lpn] = dedup.NilCID
+	return at + f.opts.CtrlLatency, nil
+}
+
+// reserveHash books the controller hash engine for one fingerprint
+// computation whose input is available at dataReady.
+func (f *FTL) reserveHash(at, dataReady event.Time) event.Time {
+	lat := f.dev.Config().Latencies.Hash
+	_, end := f.dev.HashEngine().ReserveAfter(at, dataReady, lat)
+	f.stats.HashOps++
+	return end
+}

@@ -1,0 +1,448 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"cagc/internal/dedup"
+	"cagc/internal/event"
+	"cagc/internal/flash"
+)
+
+// Garbage collection. Triggered when the free-block fraction drops
+// below the watermark (Table I: 20%), it selects victims with the
+// configured policy, migrates their valid pages, and erases them.
+//
+// With GCDedup (CAGC), each migrated page that has never been hashed is
+// fingerprinted on the controller hash engine; redundant copies are
+// dropped (one metadata merge instead of a program), unique copies are
+// published into the fingerprint index, and pages are placed into the
+// hot or cold region by reference count. With OverlapHash the hash
+// engine runs in parallel with the die timelines, hiding fingerprint
+// latency under page copies and block erases (the paper's
+// parallelization); without it every page is processed strictly
+// serially (read, hash, program, next page) — the ablation.
+
+// maxGCBatch bounds how many victims one GC invocation reclaims. GC is
+// incremental: if the pool is still below the watermark afterwards, the
+// next write triggers another batch. Unbounded reclaim would compact
+// the whole device in one storm, serializing user I/O behind it.
+const maxGCBatch = 2
+
+// maybeGC runs one bounded garbage-collection batch if the free pool is
+// below the watermark.
+func (f *FTL) maybeGC(now event.Time) error {
+	if f.inGC {
+		return nil
+	}
+	total := float64(len(f.blocks))
+	if float64(f.freeCount)/total >= f.opts.Watermark {
+		return nil
+	}
+	f.inGC = true
+	defer func() { f.inGC = false }()
+	f.stats.GCInvocations++
+
+	for i := 0; i < maxGCBatch && float64(f.freeCount)/total < f.opts.Watermark; i++ {
+		cands := f.victimCandidates()
+		if len(cands) == 0 {
+			f.stats.FutileGC++
+			return nil
+		}
+		victim := f.opts.Policy.Select(now, cands)
+		if err := f.collect(now, victim); err != nil {
+			return fmt.Errorf("ftl: gc of block %d: %w", victim, err)
+		}
+	}
+	return f.maybeWearLevel(now)
+}
+
+// IdleGC reclaims blocks during a host idle window, the way firmware
+// uses quiet periods so that the foreground watermark GC rarely binds.
+// It keeps collecting until the free pool reaches target (a fraction of
+// all blocks), the window [now, deadline] is used up, or no reclaimable
+// block remains. All operations are scheduled like normal GC; the
+// deadline check uses the GC horizon so the last collection may overrun
+// slightly, as it would on hardware once an erase has been issued.
+func (f *FTL) IdleGC(now, deadline event.Time, target float64) error {
+	if f.inGC || now >= deadline {
+		return nil
+	}
+	f.inGC = true
+	defer func() { f.inGC = false }()
+	total := float64(len(f.blocks))
+	ran := false
+	for float64(f.freeCount)/total < target {
+		if f.gcBusyUntil > deadline {
+			break
+		}
+		cands := f.victimCandidates()
+		if len(cands) == 0 {
+			break
+		}
+		victim := f.opts.Policy.Select(now, cands)
+		if err := f.collect(now, victim); err != nil {
+			return fmt.Errorf("ftl: idle gc of block %d: %w", victim, err)
+		}
+		f.stats.IdleGCCollects++
+		ran = true
+	}
+	if ran {
+		f.stats.IdleGCWindows++
+	}
+	return f.maybeWearLevel(now)
+}
+
+// ForceGC reclaims every victim-eligible block once, regardless of the
+// watermark. It exists for worked examples and idle-time GC studies;
+// the normal trigger is maybeGC.
+func (f *FTL) ForceGC(now event.Time) error {
+	if f.inGC {
+		return nil
+	}
+	f.inGC = true
+	defer func() { f.inGC = false }()
+	f.stats.GCInvocations++
+	for {
+		cands := f.victimCandidates()
+		if len(cands) == 0 {
+			return nil
+		}
+		victim := f.opts.Policy.Select(now, cands)
+		if err := f.collect(now, victim); err != nil {
+			return fmt.Errorf("ftl: forced gc of block %d: %w", victim, err)
+		}
+	}
+}
+
+// CollectAll migrates and erases every closed block, even all-valid
+// ones — a consolidation pass (the GC step of the paper's Figure-8
+// worked example, where GC runs over freshly written blocks). Blocks
+// written during the pass are not revisited.
+func (f *FTL) CollectAll(now event.Time) error {
+	if f.inGC {
+		return nil
+	}
+	f.inGC = true
+	defer func() { f.inGC = false }()
+	f.stats.GCInvocations++
+	var victims []flash.BlockID
+	for b := range f.blocks {
+		if f.blocks[b].state == blkClosed {
+			victims = append(victims, flash.BlockID(b))
+		}
+	}
+	for _, v := range victims {
+		if f.blocks[v].state != blkClosed {
+			continue // freed or reopened meanwhile
+		}
+		if err := f.collect(now, v); err != nil {
+			return fmt.Errorf("ftl: consolidation gc of block %d: %w", v, err)
+		}
+	}
+	return nil
+}
+
+// victimCandidates lists closed blocks with at least one invalid page.
+func (f *FTL) victimCandidates() []Candidate {
+	cands := make([]Candidate, 0, 64)
+	for b := range f.blocks {
+		if f.blocks[b].state != blkClosed {
+			continue
+		}
+		blk, err := f.dev.Block(flash.BlockID(b))
+		if err != nil || blk.Invalid() == 0 {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Block:       flash.BlockID(b),
+			Valid:       blk.Valid(),
+			Invalid:     blk.Invalid(),
+			Erases:      blk.Erases(),
+			LastProgram: event.Time(blk.LastProgram()),
+		})
+	}
+	return cands
+}
+
+// collect reclaims one victim block: migrate valid pages, erase, free.
+//
+// Timing model: in the overlapped mode (Baseline GC, and CAGC with
+// OverlapHash) every flash operation of the collection is enqueued at
+// `now` on its die and drains behind whatever that die is already
+// doing; the victim's erase queues on the victim die after the valid-
+// page reads (once a page is read into controller RAM the block may be
+// erased; copies to other blocks proceed in parallel with the erase —
+// the paper's parallelization). In the serial ablation each page is
+// processed as a strict read → hash → program chain and the erase waits
+// for the last chain, which wastes die time on purpose — it quantifies
+// what the overlap buys.
+func (f *FTL) collect(now event.Time, victim flash.BlockID) error {
+	g := f.dev.Geometry()
+	blk, err := f.dev.Block(victim)
+	if err != nil {
+		return err
+	}
+	// blockDone gates the erase in the serial mode only.
+	blockDone := now
+	// cursor gates each page chain in the serial (no-overlap) mode.
+	cursor := now
+
+	for i := 0; i < g.PagesPerBlock; i++ {
+		ppn := g.PageOf(victim, i)
+		if blk.State(i) != flash.PageValid {
+			continue
+		}
+		c := f.owners[ppn]
+		if c == dedup.NilCID {
+			return fmt.Errorf("valid ppn %d without owner", ppn)
+		}
+		done, err := f.migratePage(now, &cursor, ppn, c)
+		if err != nil {
+			return err
+		}
+		if done > blockDone {
+			blockDone = done
+		}
+	}
+
+	migrated := now
+	if f.opts.GCDedup && !f.opts.OverlapHash {
+		migrated = blockDone
+	}
+	eraseEnd, err := f.dev.EraseBlock(now, migrated, victim)
+	if errors.Is(err, flash.ErrWornOut) {
+		// Bad-block management: the block is retired. Its valid pages
+		// were already migrated, so no data is lost — the device just
+		// shrinks by one block.
+		f.blocks[victim].state = blkDead
+		f.stats.BadBlocks++
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if eraseEnd > f.gcBusyUntil {
+		f.gcBusyUntil = eraseEnd
+	}
+	if blockDone > f.gcBusyUntil {
+		f.gcBusyUntil = blockDone
+	}
+	f.pushFree(victim)
+	f.stats.BlocksErased++
+	return nil
+}
+
+// migratePage relocates (or dedups away) one valid page during GC and
+// returns the completion time of its processing.
+func (f *FTL) migratePage(now event.Time, cursor *event.Time, ppn flash.PPN, c dedup.CID) (event.Time, error) {
+	overlap := !f.opts.GCDedup || f.opts.OverlapHash
+	start := now
+	if !overlap {
+		start = *cursor
+	}
+
+	f.stats.GCReads++
+	readEnd, err := f.dev.ReadPage(start, ppn)
+	if err != nil {
+		return 0, err
+	}
+
+	if f.opts.GCDedup {
+		indexed, err := f.idx.Indexed(c)
+		if err != nil {
+			return 0, err
+		}
+		if !indexed {
+			return f.migrateUnindexed(now, cursor, overlap, ppn, c, readEnd)
+		}
+	}
+
+	// Plain migration: the content keeps its CID; one program.
+	ref := 1
+	if f.opts.HotCold {
+		if ref, err = f.idx.Ref(c); err != nil {
+			return 0, err
+		}
+	}
+	dataReady := now
+	if !overlap {
+		dataReady = readEnd
+	}
+	progEnd, err := f.relocateAfter(now, dataReady, ppn, c, f.regionFor(ref))
+	if err != nil {
+		return 0, err
+	}
+	*cursor = progEnd
+	return progEnd, nil
+}
+
+// migrateUnindexed handles the CAGC path for a page whose content has
+// never been fingerprinted: hash it, then either merge it into an
+// existing copy or publish and write it.
+func (f *FTL) migrateUnindexed(now event.Time, cursor *event.Time, overlap bool, ppn flash.PPN, c dedup.CID, readEnd event.Time) (event.Time, error) {
+	hashAt := now
+	if !overlap {
+		hashAt = readEnd
+	}
+	hashEnd := f.reserveHash(hashAt, readEnd)
+
+	fp, err := f.idx.FP(c)
+	if err != nil {
+		return 0, err
+	}
+	if c2, hit := f.idx.Lookup(fp); hit {
+		// Redundant copy: drop the page, merge references.
+		f.remapAll(c, c2)
+		newRef, err := f.idx.MergeInto(c, c2)
+		if err != nil {
+			return 0, err
+		}
+		if err := f.dev.Invalidate(ppn); err != nil {
+			return 0, err
+		}
+		f.owners[ppn] = dedup.NilCID
+		f.stats.GCDupDropped++
+		done := hashEnd
+
+		// Crossing the threshold promotes the surviving copy to the
+		// cold region (Figure 5: "Ref == threshold? -> data migration").
+		if f.opts.HotCold && newRef > f.opts.RefThreshold {
+			promoAfter := now
+			if !overlap {
+				promoAfter = hashEnd
+			}
+			promoEnd, moved, err := f.promote(now, promoAfter, c2)
+			if err != nil {
+				return 0, err
+			}
+			if moved && promoEnd > done {
+				done = promoEnd
+			}
+		}
+		*cursor = done
+		return done, nil
+	}
+
+	// First copy of this content: publish and migrate.
+	if err := f.idx.Publish(c); err != nil {
+		return 0, err
+	}
+	ref, err := f.idx.Ref(c)
+	if err != nil {
+		return 0, err
+	}
+	dataReady := now
+	if !overlap {
+		dataReady = hashEnd
+	}
+	progEnd, err := f.relocateAfter(now, dataReady, ppn, c, f.regionFor(ref))
+	if err != nil {
+		return 0, err
+	}
+	*cursor = progEnd
+	return progEnd, nil
+}
+
+// relocateAfter copies c's content from oldPPN into region, data
+// available at dataReady, and updates all metadata.
+func (f *FTL) relocateAfter(now, dataReady event.Time, oldPPN flash.PPN, c dedup.CID, region Region) (event.Time, error) {
+	fp, err := f.idx.FP(c)
+	if err != nil {
+		return 0, err
+	}
+	// Figure 4's demotion arrow: a page whose reference count fell back
+	// to the hot range leaves the cold region when its block is
+	// collected (lazy demotion — no extra copies, the migration was
+	// happening anyway).
+	if f.opts.HotCold && region == Hot &&
+		f.blocks[f.dev.Geometry().BlockOf(oldPPN)].region == Cold {
+		f.stats.Demotions++
+	}
+	dest, _, err := f.allocPage(region)
+	if err != nil {
+		return 0, err
+	}
+	progEnd, err := f.dev.ProgramPage(now, dataReady, dest, uint64(fp))
+	if err != nil {
+		return 0, err
+	}
+	if err := f.idx.SetPPN(c, dest); err != nil {
+		return 0, err
+	}
+	f.owners[dest] = c
+	f.closeIfFull(dest)
+	if err := f.dev.Invalidate(oldPPN); err != nil {
+		return 0, err
+	}
+	f.owners[oldPPN] = dedup.NilCID
+	f.stats.PagesMigrated++
+	return progEnd, nil
+}
+
+// promote moves c's page into the cold region if it currently lives in
+// a hot block. Returns moved=false when it is already cold (or its
+// block is already cold-tagged).
+func (f *FTL) promote(now, after event.Time, c dedup.CID) (event.Time, bool, error) {
+	if f.freeCount < 2 {
+		// Promotion consumes a frontier page without freeing one; skip
+		// it when the free pool is nearly exhausted so GC always makes
+		// forward progress.
+		return 0, false, nil
+	}
+	ppn, err := f.idx.PPN(c)
+	if err != nil {
+		return 0, false, err
+	}
+	g := f.dev.Geometry()
+	if f.blocks[g.BlockOf(ppn)].region == Cold {
+		return 0, false, nil
+	}
+	st, err := f.dev.PageStateOf(ppn)
+	if err != nil {
+		return 0, false, err
+	}
+	if st != flash.PageValid {
+		return 0, false, fmt.Errorf("promote: CID %d page %d in state %v", c, ppn, st)
+	}
+	readEnd, err := f.dev.ReadPage(after, ppn)
+	if err != nil {
+		return 0, false, err
+	}
+	fp, err := f.idx.FP(c)
+	if err != nil {
+		return 0, false, err
+	}
+	dest, _, err := f.allocPage(Cold)
+	if err != nil {
+		return 0, false, err
+	}
+	progEnd, err := f.dev.ProgramPage(now, readEnd, dest, uint64(fp))
+	if err != nil {
+		return 0, false, err
+	}
+	if err := f.idx.SetPPN(c, dest); err != nil {
+		return 0, false, err
+	}
+	f.owners[dest] = c
+	f.closeIfFull(dest)
+	if err := f.dev.Invalidate(ppn); err != nil {
+		return 0, false, err
+	}
+	f.owners[ppn] = dedup.NilCID
+	f.stats.Promotions++
+	return progEnd, true, nil
+}
+
+// remapAll repoints every LPN referencing from at to. The reverse map
+// is maintained lazily (append-only with stale entries), so each entry
+// is verified against the forward mapping before remapping.
+func (f *FTL) remapAll(from, to dedup.CID) {
+	for _, lpn := range f.lpnsOf[from] {
+		if f.mapping[lpn] == from {
+			f.mapping[lpn] = to
+			f.lpnsOf[to] = append(f.lpnsOf[to], lpn)
+		}
+	}
+	delete(f.lpnsOf, from)
+}

@@ -1,0 +1,152 @@
+package ftl
+
+import (
+	"testing"
+
+	"cagc/internal/event"
+	"cagc/internal/flash"
+)
+
+func TestCMTHitAndMiss(t *testing.T) {
+	c := newCMT(2 * mapEntriesPerPage) // 2 translation pages
+	// First touch of page 0: miss.
+	if hit, _, _ := c.access(0, false); hit {
+		t.Fatal("cold access hit")
+	}
+	// Same translation page: hit.
+	if hit, _, _ := c.access(mapEntriesPerPage-1, false); !hit {
+		t.Fatal("same-page access missed")
+	}
+	// Second page: miss, no eviction (capacity 2).
+	if hit, dirty, _ := c.access(mapEntriesPerPage, true); hit || dirty {
+		t.Fatal("unexpected hit/eviction")
+	}
+	// Third page: miss, evicts page 0 (clean).
+	if _, dirty, _ := c.access(2*mapEntriesPerPage, false); dirty {
+		t.Fatal("clean eviction flagged dirty")
+	}
+	// Page 1 is still resident and dirty; pushing two more pages
+	// evicts it with write-back.
+	sawDirty := false
+	for i := uint64(3); i <= 4; i++ {
+		if _, dirty, victim := c.access(i*mapEntriesPerPage, false); dirty {
+			sawDirty = true
+			if victim != 1 {
+				t.Fatalf("dirty victim = %d, want 1", victim)
+			}
+		}
+	}
+	if !sawDirty {
+		t.Fatal("dirty page evicted without write-back")
+	}
+}
+
+func TestCMTMinimumOnePage(t *testing.T) {
+	c := newCMT(1) // less than one page's worth of entries
+	if c.capPages != 1 {
+		t.Fatalf("capPages = %d", c.capPages)
+	}
+}
+
+func TestMapCacheStatsDisabled(t *testing.T) {
+	f := newFTL(t, BaselineOptions())
+	if f.MapCacheStats() != (MapCacheStats{}) {
+		t.Fatal("disabled cache has stats")
+	}
+	var s MapCacheStats
+	if s.HitRatio() != 0 {
+		t.Fatal("idle hit ratio not 0")
+	}
+}
+
+func TestMappingCacheChargesMisses(t *testing.T) {
+	o := BaselineOptions()
+	o.MappingCache = mapEntriesPerPage // one translation page
+	f := newFTL(t, o)
+	lat := f.dev.Config().Latencies
+
+	// First write: CMT miss -> translation read stalls the program.
+	end, err := f.Write(0, 0, fpOf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end < lat.Read+lat.Program {
+		t.Fatalf("first write end %v, want >= translation read + program", end)
+	}
+	// Second write in the same translation page: hit, no stall beyond
+	// normal queueing.
+	end2, err := f.Write(end, 1, fpOf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end2 > end+lat.Program+lat.Read {
+		t.Fatalf("hit write took %v", end2-end)
+	}
+	st := f.MapCacheStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio = %v", st.HitRatio())
+	}
+}
+
+func TestMappingCacheUnderChurn(t *testing.T) {
+	// The standard test device's map fits one translation page; use
+	// 64-page blocks so the logical space spans several pages and a
+	// one-page CMT has to thrash.
+	cfg := flash.Config{
+		Geometry: flash.Geometry{
+			Channels: 2, DiesPerChan: 2, PlanesPerDie: 1,
+			BlocksPerPlan: 16, PagesPerBlock: 64, PageSize: 4096,
+		},
+		Latencies:     flash.TableILatencies(),
+		OverProvision: 0.11,
+	}
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := CAGCOptions()
+	o.MappingCache = mapEntriesPerPage
+	f, err := New(dev, uint64(float64(cfg.UserPages())*0.7), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churn(t, f, int(f.LogicalPages())*3, 64, 41)
+	st := f.MapCacheStats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("cache never exercised: %+v", st)
+	}
+	if st.Writebacks == 0 {
+		t.Fatal("no dirty write-backs under write churn")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMappingCacheSlowsMissyWorkload(t *testing.T) {
+	// The same workload must take longer in virtual time with a tiny
+	// CMT than with the full map in RAM.
+	run := func(cache int) event.Time {
+		o := BaselineOptions()
+		o.MappingCache = cache
+		f := newFTL(t, o)
+		return churn(t, f, int(f.LogicalPages())*2, 1<<60, 42)
+	}
+	full := run(0)
+	tiny := run(mapEntriesPerPage)
+	if tiny <= full {
+		t.Fatalf("tiny CMT finished at %v, full map at %v — misses cost nothing", tiny, full)
+	}
+}
+
+func TestNegativeMappingCacheRejected(t *testing.T) {
+	o := BaselineOptions()
+	o.MappingCache = -1
+	dev := testDevice(t)
+	if _, err := New(dev, 100, o); err == nil {
+		t.Fatal("negative MappingCache accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package ftl
+
+import (
+	"fmt"
+
+	"cagc/internal/event"
+)
+
+// Options selects which of the paper's mechanisms are active in an FTL
+// instance. The three evaluated schemes are specific combinations (see
+// the constructors below), but every knob can be toggled independently
+// for ablation studies.
+type Options struct {
+	// InlineDedup runs fingerprinting + index lookup on the foreground
+	// write path (the Inline-Dedupe comparator, Figures 2 and 11).
+	InlineDedup bool
+	// GCDedup runs fingerprinting + index lookup on valid pages as
+	// they are migrated during GC (CAGC's first prong).
+	GCDedup bool
+	// HotCold places pages into the cold region when their reference
+	// count exceeds RefThreshold (CAGC's second prong). Without it all
+	// writes go to the hot region.
+	HotCold bool
+	// RefThreshold is the reference count above which a page is
+	// considered cold (paper default 1).
+	RefThreshold int
+	// OverlapHash pipelines GC-time hashing with page copies and block
+	// erases (the paper's parallelization). When false, each migrated
+	// page is processed strictly serially: read, hash, program —
+	// the ablation isolating the pipelining claim.
+	OverlapHash bool
+	// Policy selects GC victims. Defaults to GreedyPolicy.
+	Policy VictimPolicy
+	// Watermark is the free-block fraction below which GC triggers
+	// (Table I: 20%).
+	Watermark float64
+	// CtrlLatency is the controller latency charged to metadata-only
+	// operations (trims, unmapped reads, inline dedup hits after
+	// hashing). Default 1 µs.
+	CtrlLatency event.Time
+	// WearLevelThreshold enables static wear leveling: when the
+	// erase-count spread (max - min) reaches this value, the coldest
+	// closed block is swapped back into circulation. Zero disables it
+	// (the paper's configuration).
+	WearLevelThreshold int
+	// IndexCapacity caps the fingerprint index at this many published
+	// fingerprints (controller-RAM limit, CAFTL-style cache
+	// semantics): evicted fingerprints lose future dedup opportunities
+	// but never break reference counting. Zero means unlimited.
+	IndexCapacity int
+	// MappingCache, when positive, models a DFTL-style cached mapping
+	// table of that many entries: mapping misses on the user path stall
+	// for translation-page flash reads (plus write-backs of dirty
+	// victims). Zero (the paper's assumption) keeps the whole map in
+	// RAM. Timing-only: translation pages do not consume data blocks,
+	// and GC-side map updates are batched (not charged), as in DFTL's
+	// lazy update scheme.
+	MappingCache int
+}
+
+// Defaults returns options for the Baseline scheme: no dedup anywhere,
+// greedy victim selection, Table-I watermark.
+func Defaults() Options {
+	return Options{
+		RefThreshold: 1,
+		Policy:       GreedyPolicy{},
+		Watermark:    0.20,
+		CtrlLatency:  1 * event.Microsecond,
+	}
+}
+
+// BaselineOptions is the paper's Baseline scheme.
+func BaselineOptions() Options { return Defaults() }
+
+// InlineDedupeOptions is the paper's Inline-Dedupe comparator:
+// fingerprints computed on the critical write path.
+func InlineDedupeOptions() Options {
+	o := Defaults()
+	o.InlineDedup = true
+	return o
+}
+
+// CAGCOptions is the paper's scheme: dedup embedded in GC with
+// hash/copy/erase overlap, plus reference-count-based hot/cold
+// placement.
+func CAGCOptions() Options {
+	o := Defaults()
+	o.GCDedup = true
+	o.HotCold = true
+	o.OverlapHash = true
+	return o
+}
+
+// normalize fills zero values with defaults and validates.
+func (o Options) normalize() (Options, error) {
+	d := Defaults()
+	if o.Policy == nil {
+		o.Policy = d.Policy
+	}
+	if o.RefThreshold == 0 {
+		o.RefThreshold = d.RefThreshold
+	}
+	if o.Watermark == 0 {
+		o.Watermark = d.Watermark
+	}
+	if o.CtrlLatency == 0 {
+		o.CtrlLatency = d.CtrlLatency
+	}
+	if o.RefThreshold < 1 {
+		return o, fmt.Errorf("ftl: RefThreshold %d < 1", o.RefThreshold)
+	}
+	if o.Watermark <= 0 || o.Watermark >= 0.9 {
+		return o, fmt.Errorf("ftl: Watermark %v out of (0, 0.9)", o.Watermark)
+	}
+	if o.CtrlLatency < 0 {
+		return o, fmt.Errorf("ftl: negative CtrlLatency")
+	}
+	if o.WearLevelThreshold < 0 {
+		return o, fmt.Errorf("ftl: negative WearLevelThreshold")
+	}
+	if o.IndexCapacity < 0 {
+		return o, fmt.Errorf("ftl: negative IndexCapacity")
+	}
+	if o.MappingCache < 0 {
+		return o, fmt.Errorf("ftl: negative MappingCache")
+	}
+	if o.InlineDedup && o.GCDedup {
+		return o, fmt.Errorf("ftl: InlineDedup and GCDedup are mutually exclusive")
+	}
+	if o.OverlapHash && !o.GCDedup {
+		return o, fmt.Errorf("ftl: OverlapHash requires GCDedup")
+	}
+	return o, nil
+}
+
+// SchemeName renders the active mechanism combination for reports.
+func (o Options) SchemeName() string {
+	switch {
+	case o.InlineDedup:
+		return "Inline-Dedupe"
+	case o.GCDedup && o.HotCold:
+		return "CAGC"
+	case o.GCDedup:
+		return "CAGC(no-placement)"
+	default:
+		return "Baseline"
+	}
+}

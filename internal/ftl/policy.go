@@ -1,0 +1,128 @@
+// Package ftl implements the flash translation layer of the simulated
+// SSD: logical-to-physical mapping through content IDs (the CAFTL-style
+// two-level map), page allocation with hot/cold write frontiers,
+// watermark-triggered garbage collection with pluggable victim
+// selection, and the three write-path/GC-path dedup configurations the
+// paper compares (Baseline, Inline-Dedupe, CAGC).
+package ftl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cagc/internal/event"
+	"cagc/internal/flash"
+)
+
+// Candidate describes one victim-eligible block (closed, with at least
+// one invalid page) to a victim-selection policy.
+type Candidate struct {
+	Block       flash.BlockID
+	Valid       int
+	Invalid     int
+	Erases      int
+	LastProgram event.Time
+}
+
+// VictimPolicy selects which block GC reclaims next. Implementations
+// must be deterministic given their construction parameters (the random
+// policy is seeded).
+type VictimPolicy interface {
+	// Name identifies the policy in reports ("greedy", "random",
+	// "cost-benefit").
+	Name() string
+	// Select picks a victim from candidates (never empty). now is the
+	// current simulation time, used by age-aware policies.
+	Select(now event.Time, candidates []Candidate) flash.BlockID
+}
+
+// GreedyPolicy selects the block with the most invalid pages, breaking
+// ties toward the least-worn block (erase count) for wear leveling.
+// This is the paper's default policy.
+type GreedyPolicy struct{}
+
+// Name implements VictimPolicy.
+func (GreedyPolicy) Name() string { return "greedy" }
+
+// Select implements VictimPolicy.
+func (GreedyPolicy) Select(_ event.Time, cands []Candidate) flash.BlockID {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.Invalid > best.Invalid ||
+			(c.Invalid == best.Invalid && c.Erases < best.Erases) {
+			best = c
+		}
+	}
+	return best.Block
+}
+
+// RandomPolicy selects a uniformly random block among those with
+// invalid pages — cheap and naturally wear-leveling, per the paper's
+// first approach.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandomPolicy returns a seeded random policy.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements VictimPolicy.
+func (*RandomPolicy) Name() string { return "random" }
+
+// Select implements VictimPolicy.
+func (p *RandomPolicy) Select(_ event.Time, cands []Candidate) flash.BlockID {
+	return cands[p.rng.Intn(len(cands))].Block
+}
+
+// CostBenefitPolicy implements the classic cost-benefit score
+// (Kawaguchi et al.): maximize age * (1-u) / 2u, where u is the valid
+// fraction. Blocks with u == 0 are free wins and are taken immediately.
+type CostBenefitPolicy struct{}
+
+// Name implements VictimPolicy.
+func (CostBenefitPolicy) Name() string { return "cost-benefit" }
+
+// Select implements VictimPolicy.
+func (CostBenefitPolicy) Select(now event.Time, cands []Candidate) flash.BlockID {
+	best := cands[0]
+	bestScore := costBenefit(now, cands[0])
+	for _, c := range cands[1:] {
+		if s := costBenefit(now, c); s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best.Block
+}
+
+func costBenefit(now event.Time, c Candidate) float64 {
+	pages := c.Valid + c.Invalid
+	if pages == 0 {
+		return 0
+	}
+	u := float64(c.Valid) / float64(pages)
+	age := float64(now - c.LastProgram)
+	if age < 1 {
+		age = 1
+	}
+	if u == 0 {
+		// Entirely invalid: infinite benefit; age breaks ties.
+		return 1e18 + age
+	}
+	return age * (1 - u) / (2 * u)
+}
+
+// PolicyByName constructs a policy from its CLI name.
+func PolicyByName(name string, seed int64) (VictimPolicy, error) {
+	switch name {
+	case "greedy":
+		return GreedyPolicy{}, nil
+	case "random":
+		return NewRandomPolicy(seed), nil
+	case "cost-benefit", "costbenefit", "cb":
+		return CostBenefitPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("ftl: unknown victim policy %q (want greedy, random, or cost-benefit)", name)
+	}
+}

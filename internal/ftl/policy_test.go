@@ -1,0 +1,211 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cagc/internal/event"
+	"cagc/internal/flash"
+)
+
+func TestGreedyPicksMostInvalid(t *testing.T) {
+	cands := []Candidate{
+		{Block: 1, Valid: 6, Invalid: 2, Erases: 0},
+		{Block: 2, Valid: 1, Invalid: 7, Erases: 9},
+		{Block: 3, Valid: 4, Invalid: 4, Erases: 0},
+	}
+	if got := (GreedyPolicy{}).Select(0, cands); got != 2 {
+		t.Fatalf("greedy picked %d, want 2", got)
+	}
+}
+
+func TestGreedyTieBreaksOnWear(t *testing.T) {
+	cands := []Candidate{
+		{Block: 1, Invalid: 5, Erases: 10},
+		{Block: 2, Invalid: 5, Erases: 3},
+		{Block: 3, Invalid: 5, Erases: 7},
+	}
+	if got := (GreedyPolicy{}).Select(0, cands); got != 2 {
+		t.Fatalf("greedy tie-break picked %d, want 2 (least worn)", got)
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	cands := make([]Candidate, 10)
+	for i := range cands {
+		cands[i] = Candidate{Block: flash.BlockID(i), Invalid: 1}
+	}
+	a, b := NewRandomPolicy(42), NewRandomPolicy(42)
+	for i := 0; i < 100; i++ {
+		if a.Select(0, cands) != b.Select(0, cands) {
+			t.Fatal("random policy not reproducible")
+		}
+	}
+}
+
+func TestRandomPolicyCoversCandidates(t *testing.T) {
+	cands := make([]Candidate, 4)
+	for i := range cands {
+		cands[i] = Candidate{Block: flash.BlockID(i), Invalid: 1}
+	}
+	p := NewRandomPolicy(1)
+	seen := map[flash.BlockID]bool{}
+	for i := 0; i < 200; i++ {
+		seen[p.Select(0, cands)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("random policy only ever picked %d/4 blocks", len(seen))
+	}
+}
+
+func TestCostBenefitPrefersOldSparseBlocks(t *testing.T) {
+	now := event.Time(1000000)
+	cands := []Candidate{
+		// Young, mostly valid: expensive, low benefit.
+		{Block: 1, Valid: 7, Invalid: 1, LastProgram: now - 10},
+		// Old, mostly invalid: cheap, high benefit.
+		{Block: 2, Valid: 1, Invalid: 7, LastProgram: 0},
+		// Old but fully valid-heavy.
+		{Block: 3, Valid: 6, Invalid: 2, LastProgram: 0},
+	}
+	if got := (CostBenefitPolicy{}).Select(now, cands); got != 2 {
+		t.Fatalf("cost-benefit picked %d, want 2", got)
+	}
+}
+
+func TestCostBenefitFullyInvalidWins(t *testing.T) {
+	now := event.Time(100)
+	cands := []Candidate{
+		{Block: 1, Valid: 1, Invalid: 7, LastProgram: 0},
+		{Block: 2, Valid: 0, Invalid: 8, LastProgram: 99},
+	}
+	if got := (CostBenefitPolicy{}).Select(now, cands); got != 2 {
+		t.Fatalf("cost-benefit picked %d, want the free block 2", got)
+	}
+}
+
+func TestCostBenefitDegenerate(t *testing.T) {
+	// Zero-page candidate must not panic or divide by zero.
+	cands := []Candidate{{Block: 5}}
+	if got := (CostBenefitPolicy{}).Select(0, cands); got != 5 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"greedy", "random", "cost-benefit", "costbenefit", "cb"} {
+		p, err := PolicyByName(name, 1)
+		if err != nil || p == nil {
+			t.Errorf("%q: %v", name, err)
+		}
+	}
+	if _, err := PolicyByName("lru", 1); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if (GreedyPolicy{}).Name() != "greedy" ||
+		NewRandomPolicy(0).Name() != "random" ||
+		(CostBenefitPolicy{}).Name() != "cost-benefit" {
+		t.Error("policy names wrong")
+	}
+}
+
+// Property: every policy returns a block that was actually a candidate.
+func TestPoliciesReturnCandidatesProperty(t *testing.T) {
+	policies := []VictimPolicy{GreedyPolicy{}, NewRandomPolicy(3), CostBenefitPolicy{}}
+	prop := func(raw []uint16, nowRaw uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cands := make([]Candidate, len(raw))
+		members := map[flash.BlockID]bool{}
+		for i, r := range raw {
+			cands[i] = Candidate{
+				Block:       flash.BlockID(i),
+				Valid:       int(r % 8),
+				Invalid:     int(r%8) + 1,
+				Erases:      int(r >> 8),
+				LastProgram: event.Time(r),
+			}
+			members[flash.BlockID(i)] = true
+		}
+		for _, p := range policies {
+			if !members[p.Select(event.Time(nowRaw), cands)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under an arbitrary mixed workload, every scheme maintains
+// full metadata consistency and data integrity.
+func TestSchemesInvariantProperty(t *testing.T) {
+	schemes := []Options{BaselineOptions(), InlineDedupeOptions(), CAGCOptions()}
+	prop := func(ops []uint32) bool {
+		for _, o := range schemes {
+			f := newFTLQuick(o)
+			if f == nil {
+				return false
+			}
+			now := event.Time(0)
+			logical := int64(f.LogicalPages())
+			for _, op := range ops {
+				lpn := uint64(int64(op>>8) % logical)
+				var err error
+				var end event.Time
+				switch op % 8 {
+				case 0, 1, 2, 3, 4: // write, small content pool
+					end, err = f.Write(now, lpn, fpOf(uint64(op)%24))
+				case 5: // read
+					end, err = f.Read(now, lpn)
+				default: // trim
+					end, err = f.Trim(now, lpn)
+				}
+				if err != nil {
+					return false
+				}
+				now = end
+			}
+			if f.CheckInvariants() != nil {
+				return false
+			}
+			for lpn := uint64(0); lpn < f.LogicalPages(); lpn++ {
+				if _, err := f.Read(now, lpn); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newFTLQuick builds a small FTL without a *testing.T (for quick.Check).
+func newFTLQuick(opts Options) *FTL {
+	cfg := flash.Config{
+		Geometry: flash.Geometry{
+			Channels:      2,
+			DiesPerChan:   1,
+			PlanesPerDie:  1,
+			BlocksPerPlan: 8,
+			PagesPerBlock: 8,
+			PageSize:      4096,
+		},
+		Latencies:     flash.TableILatencies(),
+		OverProvision: 0.11,
+	}
+	dev, err := flash.NewDevice(cfg)
+	if err != nil {
+		return nil
+	}
+	f, err := New(dev, uint64(float64(cfg.UserPages())*0.78), opts)
+	if err != nil {
+		return nil
+	}
+	return f
+}

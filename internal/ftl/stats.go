@@ -1,0 +1,55 @@
+package ftl
+
+import "fmt"
+
+// Stats aggregates FTL activity over a run. Page counts are in pages.
+type Stats struct {
+	// Foreground traffic.
+	UserReadPages  uint64
+	UserWritePages uint64
+	UserTrimPages  uint64
+	// Flash programs triggered directly by user writes (Inline-Dedupe
+	// writes fewer than UserWritePages).
+	UserPrograms uint64
+	// Inline dedup hits (writes absorbed without a program).
+	InlineDupHits uint64
+
+	// Garbage collection.
+	GCInvocations  uint64 // watermark-triggered GC rounds
+	BlocksErased   uint64 // Figure 9
+	PagesMigrated  uint64 // GC programs of valid pages (Figure 10)
+	GCReads        uint64 // valid-page reads during GC
+	GCDupDropped   uint64 // redundant pages eliminated during GC (CAGC)
+	Promotions     uint64 // pages moved hot -> cold on crossing the threshold
+	Demotions      uint64 // cold pages returned to hot at GC after refcounts fell
+	FutileGC       uint64 // GC rounds that found no reclaimable block
+	IdleGCWindows  uint64 // host idle windows in which background GC ran
+	IdleGCCollects uint64 // blocks reclaimed by background (idle) GC
+	WLSwaps        uint64 // static wear-leveling block swaps
+	BadBlocks      uint64 // blocks retired after exhausting their erase budget
+
+	// Hash engine.
+	HashOps uint64 // fingerprints computed (inline or during GC)
+}
+
+// TotalPrograms returns every flash program issued.
+func (s Stats) TotalPrograms() uint64 {
+	return s.UserPrograms + s.PagesMigrated + s.Promotions
+}
+
+// WriteAmplification returns total programs / user-written pages
+// (1.0 means no amplification; dedup can push it below 1).
+func (s Stats) WriteAmplification() float64 {
+	if s.UserWritePages == 0 {
+		return 0
+	}
+	return float64(s.TotalPrograms()) / float64(s.UserWritePages)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"user(r=%d w=%d t=%d) programs=%d gc(inv=%d erase=%d migr=%d dup=%d promo=%d) WA=%.3f",
+		s.UserReadPages, s.UserWritePages, s.UserTrimPages, s.TotalPrograms(),
+		s.GCInvocations, s.BlocksErased, s.PagesMigrated, s.GCDupDropped,
+		s.Promotions, s.WriteAmplification())
+}

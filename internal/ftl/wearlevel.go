@@ -1,0 +1,65 @@
+package ftl
+
+import (
+	"fmt"
+
+	"cagc/internal/event"
+	"cagc/internal/flash"
+)
+
+// Static wear leveling. Victim-selection policies level *dynamic* wear
+// (blocks that keep receiving hot data), but blocks pinned under cold
+// data — exactly what CAGC's cold region creates — stop circulating and
+// fall behind in erase count while the rest of the device wears out.
+// The classic countermeasure is the static swap: when the erase-count
+// spread exceeds a threshold, migrate the coldest (least-erased) closed
+// block's contents elsewhere and erase it, putting its young cells back
+// into circulation.
+//
+// Enabled via Options.WearLevelThreshold (the paper's discussion of
+// erase-cycle limits in Section II motivates it; the mechanism itself
+// is the Gal & Toledo static scheme its survey cites).
+
+// maybeWearLevel runs one static swap if the erase-count spread exceeds
+// the threshold. Called at the end of foreground GC batches, where the
+// FTL already holds fresh wear information.
+func (f *FTL) maybeWearLevel(now event.Time) error {
+	if f.opts.WearLevelThreshold <= 0 {
+		return nil
+	}
+	// Find the least-worn closed block and the global max erase count.
+	maxErase := 0
+	minErase := int(^uint(0) >> 1)
+	var coldest flash.BlockID
+	found := false
+	for b := range f.blocks {
+		blk, err := f.dev.Block(flash.BlockID(b))
+		if err != nil {
+			return err
+		}
+		if c := blk.Erases(); c > maxErase {
+			maxErase = c
+		}
+		if f.blocks[b].state != blkClosed {
+			continue
+		}
+		if c := blk.Erases(); c < minErase {
+			minErase = c
+			coldest = flash.BlockID(b)
+			found = true
+		}
+	}
+	if !found || maxErase-minErase < f.opts.WearLevelThreshold {
+		return nil
+	}
+	if f.freeCount < 2 {
+		return nil // never spend the last reserve on leveling
+	}
+	// Swap: migrate the coldest block's contents and erase it. The
+	// pages keep their regions; collect already handles dedup state.
+	if err := f.collect(now, coldest); err != nil {
+		return fmt.Errorf("ftl: wear-level swap of block %d: %w", coldest, err)
+	}
+	f.stats.WLSwaps++
+	return nil
+}

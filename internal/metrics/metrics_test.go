@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cagc/internal/event"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.CDF() != nil {
+		t.Fatal("empty CDF not nil")
+	}
+	if h.FractionBelow(100) != 0 {
+		t.Fatal("empty FractionBelow != 0")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []event.Time{10, 20, 30, 40} {
+		h.Record(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 25 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Sum() != 100 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatal("negative value not clamped to zero")
+	}
+}
+
+func TestHistogramPercentileExactSmall(t *testing.T) {
+	var h Histogram
+	// Values < 32 land in exact (width-1) buckets.
+	for _, v := range []event.Time{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		h.Record(v)
+	}
+	cases := []struct {
+		p    float64
+		want event.Time
+	}{
+		{0.10, 1}, {0.50, 5}, {0.90, 9}, {1.00, 10}, {0.0, 1},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("P%.0f = %v, want %v", c.p*100, got, c.want)
+		}
+	}
+	// Out-of-range quantiles clamp.
+	if h.Percentile(-1) != 1 || h.Percentile(2) != 10 {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestHistogramPercentileResolution(t *testing.T) {
+	// With ~3% bucket resolution, percentiles of a uniform distribution
+	// must land within 5% of the true value.
+	var h Histogram
+	rng := rand.New(rand.NewSource(1))
+	const n = 100000
+	vals := make([]event.Time, n)
+	for i := range vals {
+		vals[i] = event.Time(rng.Int63n(1_000_000)) // up to 1 ms
+		h.Record(vals[i])
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := float64(vals[int(p*float64(n))-1])
+		got := float64(h.Percentile(p))
+		if got < want*0.95 || got > want*1.05 {
+			t.Errorf("P%g = %.0f, true %.0f (>5%% off)", p*100, got, want)
+		}
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		h.Record(event.Time(rng.Int63n(1 << 40)))
+	}
+	pts := h.CDF()
+	if len(pts) == 0 {
+		t.Fatal("empty CDF")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X || pts[i].F < pts[i-1].F {
+			t.Fatalf("CDF not monotone at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	if last := pts[len(pts)-1]; last.F != 1 {
+		t.Fatalf("final CDF point F = %v, want 1", last.F)
+	}
+	if last := pts[len(pts)-1]; last.X > h.Max() {
+		t.Fatalf("CDF X beyond max: %v > %v", last.X, h.Max())
+	}
+}
+
+func TestHistogramFractionBelow(t *testing.T) {
+	var h Histogram
+	for i := event.Time(1); i <= 10; i++ {
+		h.Record(i)
+	}
+	if f := h.FractionBelow(5); f != 0.5 {
+		t.Fatalf("FractionBelow(5) = %v, want 0.5", f)
+	}
+	if f := h.FractionBelow(1 << 50); f != 1 {
+		t.Fatalf("FractionBelow(huge) = %v, want 1", f)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(10)
+	a.Record(20)
+	b.Record(5)
+	b.Record(100)
+	a.Merge(&b)
+	if a.Count() != 4 || a.Min() != 5 || a.Max() != 100 || a.Sum() != 135 {
+		t.Fatalf("after merge: %v", a.String())
+	}
+	var empty Histogram
+	a.Merge(&empty) // no-op
+	if a.Count() != 4 {
+		t.Fatal("merging empty changed counts")
+	}
+	empty.Merge(&a)
+	if empty.Count() != 4 || empty.Min() != 5 {
+		t.Fatal("merge into empty broken")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramHugeValues(t *testing.T) {
+	var h Histogram
+	huge := event.Time(1) << 62
+	h.Record(huge)
+	if h.Max() != huge || h.Percentile(1) > huge {
+		t.Fatalf("huge value mishandled: max=%v p100=%v", h.Max(), h.Percentile(1))
+	}
+}
+
+// Property: percentile is within bucket resolution (±4%) of the true
+// order statistic, and P100 == max.
+func TestHistogramPercentileProperty(t *testing.T) {
+	prop := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			h.Record(event.Time(r))
+			vals[i] = float64(r)
+		}
+		sort.Float64s(vals)
+		if h.Percentile(1) != h.Max() {
+			return false
+		}
+		idx := (len(vals) - 1) / 2
+		want := vals[idx]
+		got := float64(h.Percentile(0.5))
+		if want < 64 {
+			return got <= want+1 && got+1 >= want
+		}
+		return got >= want*0.93 && got <= want*1.07
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefcountDist(t *testing.T) {
+	var r RefcountDist
+	for i := 0; i < 80; i++ {
+		r.Add(1)
+	}
+	for i := 0; i < 12; i++ {
+		r.Add(2)
+	}
+	for i := 0; i < 5; i++ {
+		r.Add(3)
+	}
+	for i := 0; i < 3; i++ {
+		r.Add(100)
+	}
+	r.Add(0)  // ignored
+	r.Add(-1) // ignored
+	if r.Total() != 100 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if got := r.Counts(); got != [4]uint64{80, 12, 5, 3} {
+		t.Fatalf("counts = %v", got)
+	}
+	s := r.Shares()
+	if s[0] != 0.80 || s[3] != 0.03 {
+		t.Fatalf("shares = %v", s)
+	}
+}
+
+func TestRefcountDistEmpty(t *testing.T) {
+	var r RefcountDist
+	if r.Shares() != [4]float64{} {
+		t.Fatal("empty shares not zero")
+	}
+}
+
+func TestBucketLabels(t *testing.T) {
+	if BucketLabels != [4]string{"1", "2", "3", ">3"} {
+		t.Fatalf("labels = %v", BucketLabels)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Record(1000)
+	if h.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

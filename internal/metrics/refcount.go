@@ -1,0 +1,52 @@
+package metrics
+
+// RefcountDist is the distribution of invalid pages by the reference
+// count of the page they came from — Figure 6 of the paper. When a
+// physical page becomes invalid (its last logical reference was dropped)
+// the page's peak reference count is recorded into buckets
+// {1, 2, 3, >3}.
+type RefcountDist struct {
+	buckets [4]uint64
+	total   uint64
+}
+
+// Add records an invalidated page whose peak reference count was ref.
+// Non-positive counts are ignored (they indicate a caller bug but must
+// not corrupt the distribution).
+func (r *RefcountDist) Add(ref int) {
+	switch {
+	case ref <= 0:
+		return
+	case ref == 1:
+		r.buckets[0]++
+	case ref == 2:
+		r.buckets[1]++
+	case ref == 3:
+		r.buckets[2]++
+	default:
+		r.buckets[3]++
+	}
+	r.total++
+}
+
+// Total returns the number of recorded invalidations.
+func (r *RefcountDist) Total() uint64 { return r.total }
+
+// Counts returns raw bucket counts for {1, 2, 3, >3}.
+func (r *RefcountDist) Counts() [4]uint64 { return r.buckets }
+
+// Shares returns bucket fractions for {1, 2, 3, >3}; all zeros when
+// nothing was recorded.
+func (r *RefcountDist) Shares() [4]float64 {
+	var s [4]float64
+	if r.total == 0 {
+		return s
+	}
+	for i, c := range r.buckets {
+		s[i] = float64(c) / float64(r.total)
+	}
+	return s
+}
+
+// BucketLabels are the display labels matching Counts/Shares order.
+var BucketLabels = [4]string{"1", "2", "3", ">3"}

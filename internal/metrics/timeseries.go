@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"sort"
+
+	"cagc/internal/event"
+)
+
+// TimeSeries aggregates observations into fixed-width windows of
+// virtual time — the view that makes GC interference visible as
+// latency spikes aligned with collection activity.
+type TimeSeries struct {
+	width   event.Time
+	windows map[int64]*windowAgg
+}
+
+type windowAgg struct {
+	count uint64
+	sum   float64
+	max   event.Time
+}
+
+// WindowStat is one exported window.
+type WindowStat struct {
+	Start event.Time // window start (inclusive)
+	Count uint64
+	Mean  float64 // mean observation (ns)
+	Max   event.Time
+}
+
+// NewTimeSeries makes a series with the given window width (values <= 0
+// default to 10 ms).
+func NewTimeSeries(width event.Time) *TimeSeries {
+	if width <= 0 {
+		width = 10 * event.Millisecond
+	}
+	return &TimeSeries{width: width, windows: make(map[int64]*windowAgg)}
+}
+
+// Width returns the window width.
+func (ts *TimeSeries) Width() event.Time { return ts.width }
+
+// Record adds an observation v occurring at time at.
+func (ts *TimeSeries) Record(at event.Time, v event.Time) {
+	if v < 0 {
+		v = 0
+	}
+	k := int64(at / ts.width)
+	w := ts.windows[k]
+	if w == nil {
+		w = &windowAgg{}
+		ts.windows[k] = w
+	}
+	w.count++
+	w.sum += float64(v)
+	if v > w.max {
+		w.max = v
+	}
+}
+
+// Windows exports the populated windows in time order.
+func (ts *TimeSeries) Windows() []WindowStat {
+	keys := make([]int64, 0, len(ts.windows))
+	for k := range ts.windows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]WindowStat, 0, len(keys))
+	for _, k := range keys {
+		w := ts.windows[k]
+		out = append(out, WindowStat{
+			Start: event.Time(k) * ts.width,
+			Count: w.count,
+			Mean:  w.sum / float64(w.count),
+			Max:   w.max,
+		})
+	}
+	return out
+}
+
+// Peak returns the window with the highest max observation (zero value
+// when empty).
+func (ts *TimeSeries) Peak() WindowStat {
+	var best WindowStat
+	for k, w := range ts.windows {
+		if w.max >= best.Max {
+			cand := WindowStat{
+				Start: event.Time(k) * ts.width,
+				Count: w.count,
+				Mean:  w.sum / float64(w.count),
+				Max:   w.max,
+			}
+			if w.max > best.Max || (w.max == best.Max && (best.Count == 0 || cand.Start < best.Start)) {
+				best = cand
+			}
+		}
+	}
+	return best
+}

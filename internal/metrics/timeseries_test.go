@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cagc/internal/event"
+)
+
+func TestTimeSeriesWindows(t *testing.T) {
+	ts := NewTimeSeries(100)
+	ts.Record(0, 10)
+	ts.Record(50, 30)
+	ts.Record(150, 70)
+	ts.Record(950, 5)
+	ws := ts.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	if ws[0].Start != 0 || ws[0].Count != 2 || ws[0].Mean != 20 || ws[0].Max != 30 {
+		t.Fatalf("window 0 = %+v", ws[0])
+	}
+	if ws[1].Start != 100 || ws[1].Max != 70 {
+		t.Fatalf("window 1 = %+v", ws[1])
+	}
+	if ws[2].Start != 900 {
+		t.Fatalf("window 2 = %+v", ws[2])
+	}
+}
+
+func TestTimeSeriesDefaultWidth(t *testing.T) {
+	ts := NewTimeSeries(0)
+	if ts.Width() != 10*event.Millisecond {
+		t.Fatalf("default width = %v", ts.Width())
+	}
+	ts.Record(-5, -7) // negative value clamps, negative time allowed
+	if len(ts.Windows()) != 1 {
+		t.Fatal("clamped record lost")
+	}
+}
+
+func TestTimeSeriesPeak(t *testing.T) {
+	ts := NewTimeSeries(100)
+	if p := ts.Peak(); p.Count != 0 {
+		t.Fatal("empty peak nonzero")
+	}
+	ts.Record(10, 5)
+	ts.Record(210, 90)
+	ts.Record(410, 90) // tie: earliest window wins
+	p := ts.Peak()
+	if p.Max != 90 || p.Start != 200 {
+		t.Fatalf("peak = %+v", p)
+	}
+}
+
+// Property: window means and maxes are consistent with the raw stream.
+func TestTimeSeriesConservationProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		ts := NewTimeSeries(64)
+		var total uint64
+		var sum float64
+		for i, r := range raw {
+			at := event.Time(i * 13)
+			v := event.Time(r)
+			ts.Record(at, v)
+			total++
+			sum += float64(v)
+		}
+		var gotTotal uint64
+		var gotSum float64
+		for _, w := range ts.Windows() {
+			gotTotal += w.Count
+			gotSum += w.Mean * float64(w.Count)
+		}
+		if gotTotal != total {
+			return false
+		}
+		diff := gotSum - sum
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

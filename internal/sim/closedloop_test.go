@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"cagc/internal/ftl"
+	"cagc/internal/trace"
+)
+
+func closedLoopResult(t *testing.T, qd, reqs int) *Result {
+	t.Helper()
+	cfg := smallConfig(ftl.BaselineOptions())
+	cfg.QueueDepth = qd
+	spec := specFor(t, cfg, trace.Homes, reqs)
+	res, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestClosedLoopCompletesAllRequests(t *testing.T) {
+	res := closedLoopResult(t, 4, 3000)
+	if res.Requests != 3000 {
+		t.Fatalf("requests = %d", res.Requests)
+	}
+	if res.IOPS() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}
+
+func TestClosedLoopDeeperQueueMoreThroughput(t *testing.T) {
+	qd1 := closedLoopResult(t, 1, 3000)
+	qd8 := closedLoopResult(t, 8, 3000)
+	if qd8.IOPS() <= qd1.IOPS() {
+		t.Errorf("QD8 %.0f IOPS <= QD1 %.0f IOPS — deeper queue should add parallelism",
+			qd8.IOPS(), qd1.IOPS())
+	}
+	// And the run finishes sooner in virtual time.
+	if qd8.Duration >= qd1.Duration {
+		t.Errorf("QD8 duration %v >= QD1 %v", qd8.Duration, qd1.Duration)
+	}
+}
+
+func TestClosedLoopDeterministic(t *testing.T) {
+	a := closedLoopResult(t, 4, 1500)
+	b := closedLoopResult(t, 4, 1500)
+	if a.FTL != b.FTL || a.Duration != b.Duration {
+		t.Fatal("closed-loop replay not deterministic")
+	}
+}
+
+func TestClosedLoopNoIdleGC(t *testing.T) {
+	res := closedLoopResult(t, 4, 3000)
+	if res.FTL.IdleGCWindows != 0 {
+		t.Fatalf("idle GC ran %d windows under closed-loop saturation", res.FTL.IdleGCWindows)
+	}
+}
+
+func TestIOPSEmpty(t *testing.T) {
+	var r Result
+	if r.IOPS() != 0 {
+		t.Fatal("empty result has IOPS")
+	}
+}

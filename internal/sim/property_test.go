@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cagc/internal/flash"
+	"cagc/internal/ftl"
+	"cagc/internal/trace"
+)
+
+// Property: any combination of scheme, optional mechanisms, replay mode
+// and workload completes a short run with consistent FTL state. This is
+// the whole-system sweep that catches interactions individual module
+// tests cannot (e.g., write buffer x CAGC x mapping cache).
+func TestSystemConfigurationProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-system sweep")
+	}
+	prop := func(pick uint32) bool {
+		schemes := []ftl.Options{
+			ftl.BaselineOptions(),
+			ftl.InlineDedupeOptions(),
+			ftl.CAGCOptions(),
+		}
+		opts := schemes[pick%3]
+		switch (pick >> 2) % 3 {
+		case 1:
+			opts.Policy = ftl.NewRandomPolicy(int64(pick))
+		case 2:
+			opts.Policy = ftl.CostBenefitPolicy{}
+		}
+		if (pick>>4)%2 == 1 {
+			opts.WearLevelThreshold = 2
+		}
+		if (pick>>5)%2 == 1 {
+			opts.IndexCapacity = 32
+		}
+		if (pick>>6)%2 == 1 {
+			opts.MappingCache = 512
+		}
+		cfg := Config{
+			Device:      flash.ScaledConfig(8 << 20),
+			Options:     opts,
+			Utilization: 0.55,
+		}
+		if (pick>>7)%2 == 1 {
+			cfg.BufferPages = 16
+		}
+		if (pick>>8)%2 == 1 {
+			cfg.QueueDepth = 1 + int(pick%7)
+		}
+		workloads := []trace.WorkloadName{trace.Homes, trace.WebVM, trace.Mail}
+		w := workloads[(pick>>9)%3]
+
+		r, err := NewRunner(cfg)
+		if err != nil {
+			return false
+		}
+		spec, err := trace.Preset(w, r.LogicalPages(), 800, int64(pick%5)+1)
+		if err != nil {
+			return false
+		}
+		res, err := Run(cfg, spec) // includes CheckInvariants
+		if err != nil {
+			return false
+		}
+		return res.Requests == 800
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,424 @@
+// Package sim assembles the full simulated SSD — flash device, FTL
+// scheme, workload — and replays content-annotated traces through it,
+// producing the measurements behind every figure of the paper:
+// response-time distributions, blocks erased, pages migrated, and the
+// reference-count invalidation analysis.
+//
+// Replay is open-loop: requests arrive at their trace timestamps and
+// queue on the device's die timelines, so garbage-collection activity
+// directly inflates the response times of concurrent user requests —
+// the interference mechanism the paper measures. A preconditioning pass
+// (full device fill in shuffled order) runs before measurement so every
+// scheme is observed in steady state.
+package sim
+
+import (
+	"fmt"
+
+	"cagc/internal/buffer"
+	"cagc/internal/event"
+	"cagc/internal/flash"
+	"cagc/internal/ftl"
+	"cagc/internal/metrics"
+	"cagc/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Device is the flash configuration; zero value means a 64 MiB
+	// scaled Table-I device.
+	Device flash.Config
+	// Options is the FTL scheme configuration (Baseline, Inline-Dedupe,
+	// CAGC, or an ablation variant).
+	Options ftl.Options
+	// Utilization is the logical address space as a fraction of the
+	// device's user-visible pages. Default 0.65: with 7% OP and the
+	// 20% free-block watermark this keeps steady-state GC active
+	// without demanding near-perfect compaction (the free ceiling must
+	// clear the watermark plus the open write frontiers).
+	Utilization float64
+	// Precondition fills the device once before measurement
+	// (default true; set SkipPrecondition to disable).
+	SkipPrecondition bool
+	// BufferPages, when positive, interposes a controller-DRAM
+	// write-back buffer of that many pages in front of the FTL (the
+	// related-work write-traffic lever). The buffer is drained at the
+	// end of the replay.
+	BufferPages int
+	// QueueDepth switches the replay to closed-loop issue: trace
+	// timestamps are ignored and at most QueueDepth requests are
+	// outstanding — each new request issues when the oldest completes.
+	// Zero (default) keeps the open-loop trace-timestamp replay the
+	// figures use.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Device.Geometry.PageSize == 0 {
+		c.Device = flash.ScaledConfig(64 << 20)
+	}
+	if c.Utilization == 0 {
+		c.Utilization = 0.65
+	}
+	return c
+}
+
+// Result aggregates everything measured during the replay phase.
+type Result struct {
+	Scheme   string
+	Workload string
+	Policy   string
+
+	Requests uint64     // measured requests completed
+	Duration event.Time // last completion − first arrival (measured phase)
+
+	// Latency histograms over request response times.
+	Latency      metrics.Histogram // all requests
+	ReadLatency  metrics.Histogram
+	WriteLatency metrics.Histogram
+
+	// GCLatency covers only requests that arrived while GC operations
+	// were still in flight — the "response times during the SSD GC
+	// periods" of the paper's Figure 11.
+	GCLatency  metrics.Histogram
+	GCRequests uint64 // requests that fell inside GC periods
+
+	// FTL counters, measured phase only (precondition excluded).
+	FTL ftl.Stats
+
+	// RefDist is the Figure-6 distribution: invalid pages bucketed by
+	// the peak reference count of the page, measured phase only.
+	RefDist [4]uint64
+
+	// Buffer holds write-buffer activity when Config.BufferPages > 0.
+	Buffer buffer.Stats
+
+	// Timeline buckets response times into 10 ms windows of measured
+	// time (relative to the first arrival), making GC-induced latency
+	// spikes visible; nil until the first request completes.
+	Timeline *metrics.TimeSeries
+
+	// Device state at the end.
+	EraseSpread  int
+	FreeFraction float64
+	Regions      ftl.RegionStats
+}
+
+// MeanLatency returns the mean response time in microseconds.
+func (r *Result) MeanLatency() float64 { return r.Latency.Mean() / 1000 }
+
+// IOPS returns completed requests per second of simulated time.
+func (r *Result) IOPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / (float64(r.Duration) / 1e9)
+}
+
+// RefShares returns RefDist normalized to fractions.
+func (r *Result) RefShares() [4]float64 {
+	var total uint64
+	for _, c := range r.RefDist {
+		total += c
+	}
+	var s [4]float64
+	if total == 0 {
+		return s
+	}
+	for i, c := range r.RefDist {
+		s[i] = float64(c) / float64(total)
+	}
+	return s
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s: reqs=%d mean=%.1fus p99=%.1fus erased=%d migrated=%d WA=%.3f",
+		r.Scheme, r.Workload, r.Requests, r.MeanLatency(),
+		r.Latency.Percentile(0.99).Micros(), r.FTL.BlocksErased,
+		r.FTL.PagesMigrated, r.FTL.WriteAmplification())
+}
+
+// Runner holds one assembled SSD ready to replay traces.
+type Runner struct {
+	cfg Config
+	dev *flash.Device
+	f   *ftl.FTL
+	buf *buffer.WriteBuffer // nil unless BufferPages > 0
+}
+
+// NewRunner builds the device and FTL.
+func NewRunner(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	dev, err := flash.NewDevice(cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	logical := uint64(float64(cfg.Device.UserPages()) * cfg.Utilization)
+	f, err := ftl.New(dev, logical, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{cfg: cfg, dev: dev, f: f}
+	if cfg.BufferPages > 0 {
+		if r.buf, err = buffer.New(f, cfg.BufferPages); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Buffer returns the interposed write buffer, or nil.
+func (r *Runner) Buffer() *buffer.WriteBuffer { return r.buf }
+
+// FTL exposes the runner's translation layer (for reports and tests).
+func (r *Runner) FTL() *ftl.FTL { return r.f }
+
+// LogicalPages returns the exported address-space size, which workload
+// specs must match.
+func (r *Runner) LogicalPages() uint64 { return r.f.LogicalPages() }
+
+// serveRequest issues one request's page operations and returns the
+// completion time (max across pages).
+func (r *Runner) serveRequest(req trace.Request) (event.Time, error) {
+	var done event.Time
+	for i := 0; i < req.Pages; i++ {
+		lpn := req.LPN + uint64(i)
+		if lpn >= r.f.LogicalPages() {
+			break // clip requests that overrun the address space
+		}
+		var end event.Time
+		var err error
+		switch {
+		case req.Op == trace.OpWrite && r.buf != nil:
+			end, err = r.buf.Write(req.At, lpn, req.FPs[i])
+		case req.Op == trace.OpWrite:
+			end, err = r.f.Write(req.At, lpn, req.FPs[i])
+		case req.Op == trace.OpRead && r.buf != nil:
+			end, err = r.buf.Read(req.At, lpn)
+		case req.Op == trace.OpRead:
+			end, err = r.f.Read(req.At, lpn)
+		case req.Op == trace.OpTrim && r.buf != nil:
+			end, err = r.buf.Trim(req.At, lpn)
+		case req.Op == trace.OpTrim:
+			end, err = r.f.Trim(req.At, lpn)
+		default:
+			err = fmt.Errorf("sim: unknown op %v", req.Op)
+		}
+		if err != nil {
+			return 0, err
+		}
+		if end > done {
+			done = end
+		}
+	}
+	return done, nil
+}
+
+// Precondition replays src (typically trace.NewPreconditioner) without
+// recording latencies, and returns the virtual time at which the device
+// settled (all operations complete).
+func (r *Runner) Precondition(src trace.Source) (event.Time, error) {
+	var settled event.Time
+	for {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		end, err := r.serveRequest(req)
+		if err != nil {
+			return 0, fmt.Errorf("sim: precondition: %w", err)
+		}
+		if end > settled {
+			settled = end
+		}
+	}
+	return settled, nil
+}
+
+// Idle-GC pacing: gaps longer than idleGCGap trigger background
+// reclaim, aiming idleGCHeadroom above the watermark and keeping
+// idleGCMargin clear of the next arrival.
+const (
+	idleGCGap      = 4 * event.Millisecond
+	idleGCMargin   = 1 * event.Millisecond
+	idleGCHeadroom = 0.05
+)
+
+// Replay runs the measured trace. Arrival times in src are shifted by
+// offset (the precondition settle time). The returned Result covers
+// only the measured phase.
+//
+// Open-loop mode (QueueDepth == 0): requests arrive at their trace
+// timestamps; between bursts — whenever the next arrival is more than
+// idleGCGap away — background GC runs, exactly as firmware exploits
+// idle periods; the watermark GC inside the FTL remains the
+// under-pressure fallback.
+//
+// Closed-loop mode (QueueDepth > 0): trace timestamps are ignored; a
+// window of QueueDepth requests is kept outstanding, each new request
+// issuing at the completion time of the oldest outstanding one. Idle
+// GC never runs (a saturating host has no idle periods).
+func (r *Runner) Replay(src trace.Source, offset event.Time, workload string) (*Result, error) {
+	res := &Result{
+		Scheme:   r.cfg.Options.SchemeName(),
+		Workload: workload,
+		Policy:   r.cfg.Options.Policy.Name(),
+	}
+	statsBefore := r.f.Stats()
+	refBefore := r.f.RefDist.Counts()
+	idleTarget := r.f.Options().Watermark + idleGCHeadroom
+
+	var firstArrival event.Time = -1
+	var lastDone event.Time
+	// Closed-loop window of outstanding completion times (QueueDepth
+	// entries once warm); completions are consumed oldest-first.
+	var window []event.Time
+	next, have := src.Next()
+	for have {
+		req := next
+		next, have = src.Next()
+		if r.cfg.QueueDepth > 0 {
+			req.At = offset
+			if len(window) >= r.cfg.QueueDepth {
+				req.At = window[0]
+				window = window[1:]
+			}
+		} else {
+			req.At += offset
+		}
+		if firstArrival < 0 {
+			firstArrival = req.At
+		}
+		done, err := r.serveRequest(req)
+		if err != nil {
+			return nil, fmt.Errorf("sim: replay: %w", err)
+		}
+		if done > lastDone {
+			lastDone = done
+		}
+		if r.cfg.QueueDepth > 0 {
+			// Insert in completion order (the window is tiny).
+			pos := len(window)
+			for pos > 0 && window[pos-1] > done {
+				pos--
+			}
+			window = append(window, 0)
+			copy(window[pos+1:], window[pos:])
+			window[pos] = done
+		} else if have {
+			nextAt := next.At + offset
+			if nextAt-req.At > idleGCGap {
+				if err := r.f.IdleGC(req.At, nextAt-idleGCMargin, idleTarget); err != nil {
+					return nil, fmt.Errorf("sim: idle gc: %w", err)
+				}
+			}
+		}
+		lat := done - req.At
+		if lat < 0 {
+			lat = 0 // zero-page (fully clipped) requests
+		}
+		res.Latency.Record(lat)
+		if res.Timeline == nil {
+			res.Timeline = metrics.NewTimeSeries(10 * event.Millisecond)
+		}
+		res.Timeline.Record(req.At-firstArrival, lat)
+		if req.At < r.f.GCBusyUntil() {
+			res.GCLatency.Record(lat)
+			res.GCRequests++
+		}
+		switch req.Op {
+		case trace.OpRead:
+			res.ReadLatency.Record(lat)
+		case trace.OpWrite:
+			res.WriteLatency.Record(lat)
+		}
+		res.Requests++
+	}
+
+	// Drain the write buffer so every accepted write is durable and
+	// accounted before the stats snapshot.
+	if r.buf != nil {
+		done, err := r.buf.Flush(lastDone)
+		if err != nil {
+			return nil, fmt.Errorf("sim: draining buffer: %w", err)
+		}
+		if done > lastDone {
+			lastDone = done
+		}
+		res.Buffer = r.buf.Stats()
+	}
+
+	statsAfter := r.f.Stats()
+	res.FTL = subStats(statsAfter, statsBefore)
+	refAfter := r.f.RefDist.Counts()
+	for i := range res.RefDist {
+		res.RefDist[i] = refAfter[i] - refBefore[i]
+	}
+	if firstArrival < 0 {
+		firstArrival = 0
+	}
+	res.Duration = lastDone - firstArrival
+	res.EraseSpread = r.dev.EraseSpread()
+	res.FreeFraction = r.f.FreeBlockFraction()
+	res.Regions = r.f.RegionStats()
+	return res, nil
+}
+
+// Run is the one-call entry point: build, precondition, replay.
+func Run(cfg Config, spec trace.Spec) (*Result, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if spec.LogicalPages != r.LogicalPages() {
+		return nil, fmt.Errorf("sim: workload spec covers %d logical pages, device exports %d",
+			spec.LogicalPages, r.LogicalPages())
+	}
+	var offset event.Time
+	if !cfg.SkipPrecondition {
+		pre, err := trace.NewPreconditioner(spec)
+		if err != nil {
+			return nil, err
+		}
+		if offset, err = r.Precondition(pre); err != nil {
+			return nil, err
+		}
+	}
+	gen, err := trace.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Replay(gen, offset, spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	// Post-run self-check: a result from an inconsistent FTL is not a
+	// result.
+	if err := r.f.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sim: post-run invariant violation: %w", err)
+	}
+	return res, nil
+}
+
+func subStats(a, b ftl.Stats) ftl.Stats {
+	return ftl.Stats{
+		UserReadPages:  a.UserReadPages - b.UserReadPages,
+		UserWritePages: a.UserWritePages - b.UserWritePages,
+		UserTrimPages:  a.UserTrimPages - b.UserTrimPages,
+		UserPrograms:   a.UserPrograms - b.UserPrograms,
+		InlineDupHits:  a.InlineDupHits - b.InlineDupHits,
+		GCInvocations:  a.GCInvocations - b.GCInvocations,
+		BlocksErased:   a.BlocksErased - b.BlocksErased,
+		PagesMigrated:  a.PagesMigrated - b.PagesMigrated,
+		GCReads:        a.GCReads - b.GCReads,
+		GCDupDropped:   a.GCDupDropped - b.GCDupDropped,
+		Promotions:     a.Promotions - b.Promotions,
+		Demotions:      a.Demotions - b.Demotions,
+		FutileGC:       a.FutileGC - b.FutileGC,
+		IdleGCWindows:  a.IdleGCWindows - b.IdleGCWindows,
+		IdleGCCollects: a.IdleGCCollects - b.IdleGCCollects,
+		WLSwaps:        a.WLSwaps - b.WLSwaps,
+		BadBlocks:      a.BadBlocks - b.BadBlocks,
+		HashOps:        a.HashOps - b.HashOps,
+	}
+}

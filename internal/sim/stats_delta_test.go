@@ -1,0 +1,31 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"cagc/internal/ftl"
+)
+
+// subStats must cover every Stats field; a field forgotten in the
+// hand-written delta silently zeroes that counter in all reports (it
+// has happened once). Populate every field via reflection and check
+// a-0 == a and a-a == 0.
+func TestSubStatsCoversAllFields(t *testing.T) {
+	var a ftl.Stats
+	v := reflect.ValueOf(&a).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("field %s is %v; extend this test for the new kind",
+				v.Type().Field(i).Name, f.Kind())
+		}
+		f.SetUint(uint64(i + 1))
+	}
+	if got := subStats(a, ftl.Stats{}); got != a {
+		t.Errorf("subStats(a, 0) != a:\n got %+v\nwant %+v", got, a)
+	}
+	if got := subStats(a, a); got != (ftl.Stats{}) {
+		t.Errorf("subStats(a, a) != 0: %+v", got)
+	}
+}

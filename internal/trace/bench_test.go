@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchSpec(requests int) Spec {
+	s := Spec{
+		Name: "bench", WriteRatio: 0.7, DedupRatio: 0.5, AvgReqPages: 4,
+		LogicalPages: 1 << 16, Requests: requests, TrimFraction: 0.02,
+		TrimPages: 8, ContentSkew: 1.4, AddrSkew: 1.2, ContentPool: 2048, Seed: 1,
+	}
+	return s
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g, err := NewGenerator(benchSpec(1 << 62))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+func BenchmarkBinaryEncodeDecode(b *testing.B) {
+	g, _ := NewGenerator(benchSpec(2000))
+	reqs := Collect(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range reqs {
+			if err := w.Write(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		rd, err := NewReader(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, ok := rd.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != len(reqs) {
+			b.Fatalf("decoded %d", n)
+		}
+	}
+}

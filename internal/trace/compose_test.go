@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cagc/internal/event"
+)
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := &SliceSource{Reqs: []Request{
+		{At: 10, Op: OpRead, LPN: 1, Pages: 1},
+		{At: 30, Op: OpRead, LPN: 2, Pages: 1},
+	}}
+	b := &SliceSource{Reqs: []Request{
+		{At: 5, Op: OpRead, LPN: 3, Pages: 1},
+		{At: 20, Op: OpRead, LPN: 4, Pages: 1},
+		{At: 40, Op: OpRead, LPN: 5, Pages: 1},
+	}}
+	got := Collect(Merge(a, b))
+	wantLPNs := []uint64{3, 1, 4, 2, 5}
+	if len(got) != len(wantLPNs) {
+		t.Fatalf("merged %d requests", len(got))
+	}
+	for i, r := range got {
+		if r.LPN != wantLPNs[i] {
+			t.Fatalf("order: got %v", got)
+		}
+	}
+}
+
+func TestMergeTieBreaksBySource(t *testing.T) {
+	a := &SliceSource{Reqs: []Request{{At: 7, Op: OpRead, LPN: 1, Pages: 1}}}
+	b := &SliceSource{Reqs: []Request{{At: 7, Op: OpRead, LPN: 2, Pages: 1}}}
+	got := Collect(Merge(a, b))
+	if got[0].LPN != 1 || got[1].LPN != 2 {
+		t.Fatalf("tie-break order: %v", got)
+	}
+}
+
+func TestMergeEmptySources(t *testing.T) {
+	if got := Collect(Merge(&SliceSource{}, &SliceSource{})); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// Property: merging generator streams yields a time-ordered stream
+// containing exactly the union of the inputs.
+func TestMergeProperty(t *testing.T) {
+	prop := func(seedA, seedB int64, nA, nB uint8) bool {
+		mk := func(seed int64, n int) Source {
+			s := testSpec()
+			s.Seed = seed
+			s.Requests = n
+			g, err := NewGenerator(s)
+			if err != nil {
+				return nil
+			}
+			return g
+		}
+		a, b := mk(seedA, int(nA)), mk(seedB, int(nB))
+		if a == nil || b == nil {
+			return false
+		}
+		got := Collect(Merge(a, b))
+		if len(got) != int(nA)+int(nB) {
+			return false
+		}
+		last := event.Time(-1)
+		for _, r := range got {
+			if r.At < last {
+				return false
+			}
+			last = r.At
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetShiftsAddresses(t *testing.T) {
+	src := &Offset{
+		Src:  &SliceSource{Reqs: []Request{{At: 1, Op: OpRead, LPN: 5, Pages: 1}}},
+		Base: 1000,
+	}
+	got := Collect(src)
+	if got[0].LPN != 1005 {
+		t.Fatalf("lpn = %d", got[0].LPN)
+	}
+}
+
+func TestTimeScale(t *testing.T) {
+	reqs := []Request{
+		{At: 100, Op: OpRead, LPN: 0, Pages: 1},
+		{At: 200, Op: OpRead, LPN: 0, Pages: 1},
+		{At: 300, Op: OpRead, LPN: 0, Pages: 1},
+	}
+	got := Collect(&TimeScale{Src: &SliceSource{Reqs: reqs}, Factor: 0.5})
+	if got[0].At != 100 || got[1].At != 150 || got[2].At != 200 {
+		t.Fatalf("scaled times: %v %v %v", got[0].At, got[1].At, got[2].At)
+	}
+	// Factor <= 0 means identity.
+	got = Collect(&TimeScale{Src: &SliceSource{Reqs: reqs}, Factor: 0})
+	if got[1].At != 200 {
+		t.Fatalf("identity scale broke: %v", got[1].At)
+	}
+}
+
+func TestMergedTenantsReplay(t *testing.T) {
+	// Two tenants (Mail + Web-vm) on disjoint halves of one device's
+	// address space, merged by time — the consolidation scenario.
+	const half = 4000
+	mailSpec, err := Preset(Mail, half, 800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	webSpec, err := Preset(WebVM, half, 800, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := NewGenerator(mailSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg, err := NewGenerator(webSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := Merge(mg, &Offset{Src: wg, Base: half})
+	c := Characterize(merged, 4096)
+	if c.Requests != 1600 {
+		t.Fatalf("requests = %d", c.Requests)
+	}
+	// The blend sits between the two workloads' write ratios.
+	if c.WriteRatio < 0.65 || c.WriteRatio > 0.9 {
+		t.Fatalf("blended write ratio = %.3f", c.WriteRatio)
+	}
+}

@@ -1,0 +1,53 @@
+package cagc
+
+// Harness-level parallelism. Each simulation is an independent,
+// deterministic, single-threaded computation, so experiments that need
+// many runs (three workloads x three schemes x three policies, seed
+// sweeps, queue-depth curves) fan them out across CPUs. Results are
+// written into index-addressed slots, so parallel execution is
+// bit-identical to sequential execution.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEach runs task(0..n-1) on up to GOMAXPROCS goroutines and returns
+// the first error (by index order, so failures are deterministic too).
+func forEach(n int, task func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = task(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package cagc
+
+// Public trace surface: generate content-annotated workloads, persist
+// them in the binary trace format, and replay arbitrary traces through
+// any scheme. This is how a downstream user runs their own traces
+// (anything that can be converted to per-page content fingerprints)
+// instead of the built-in FIU-calibrated presets.
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cagc/internal/flash"
+	"cagc/internal/ftl"
+	"cagc/internal/sim"
+	"cagc/internal/trace"
+)
+
+// TraceSpec parameterizes a synthetic workload; see the field docs in
+// internal/trace.Spec. WorkloadSpec builds one from a Table-II preset.
+type TraceSpec = trace.Spec
+
+// TraceRequest is one host I/O with per-page content fingerprints.
+type TraceRequest = trace.Request
+
+// TraceSource is a stream of requests in arrival order.
+type TraceSource = trace.Source
+
+// LogicalPagesFor returns the logical address-space size a device built
+// from p exports; workload specs must target exactly this size.
+func LogicalPagesFor(p Params) (uint64, error) {
+	p = p.withDefaults()
+	cfg := sim.Config{
+		Device:      flash.ScaledConfig(p.DeviceBytes),
+		Options:     ftl.BaselineOptions(),
+		Utilization: p.Utilization,
+	}
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return r.LogicalPages(), nil
+}
+
+// WorkloadSpec returns the Table-II-calibrated spec for w sized to the
+// device described by p.
+func WorkloadSpec(w Workload, p Params) (TraceSpec, error) {
+	p = p.withDefaults()
+	logical, err := LogicalPagesFor(p)
+	if err != nil {
+		return TraceSpec{}, err
+	}
+	return trace.Preset(w, logical, p.Requests, p.Seed)
+}
+
+// NewTraceGenerator streams the synthetic workload described by spec.
+func NewTraceGenerator(spec TraceSpec) (TraceSource, error) {
+	return trace.NewGenerator(spec)
+}
+
+// WriteTraceFile saves a request stream to path in the compact binary
+// trace format and returns the number of requests written. A ".gz"
+// suffix selects transparent gzip compression.
+func WriteTraceFile(path string, src TraceSource) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var sink io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		sink = gz
+	}
+	w, err := trace.NewWriter(sink)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(r); err != nil {
+			return w.Count(), err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return w.Count(), err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			return w.Count(), err
+		}
+	}
+	return w.Count(), f.Close()
+}
+
+// ReplayTraceFile replays a binary trace file through scheme s. The
+// device is preconditioned with the given workload's content mixture
+// before measurement (pass the workload the trace was generated from,
+// or Homes for neutral preconditioning).
+func ReplayTraceFile(path string, w Workload, s Scheme, policy string, p Params) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var in io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("cagc: opening %s: %w", path, err)
+		}
+		defer gz.Close()
+		in = gz
+	}
+	src, err := trace.NewReader(in)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ReplayTrace(src, w, s, policy, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := src.Err(); err != nil {
+		return nil, fmt.Errorf("cagc: decoding %s: %w", path, err)
+	}
+	return res, nil
+}
+
+// MergeTraces interleaves several time-ordered request streams into
+// one, for consolidation studies (several tenants sharing one SSD).
+func MergeTraces(sources ...TraceSource) TraceSource {
+	return trace.Merge(sources...)
+}
+
+// OffsetTrace shifts a stream's logical addresses by base, giving
+// merged tenants disjoint address ranges.
+func OffsetTrace(src TraceSource, base uint64) TraceSource {
+	return &trace.Offset{Src: src, Base: base}
+}
+
+// ScaleTrace stretches (>1) or compresses (<1) a stream's inter-arrival
+// gaps.
+func ScaleTrace(src TraceSource, factor float64) TraceSource {
+	return &trace.TimeScale{Src: src, Factor: factor}
+}
+
+// ReplayTrace replays an arbitrary request stream through scheme s
+// after standard preconditioning.
+func ReplayTrace(src TraceSource, w Workload, s Scheme, policy string, p Params) (*Result, error) {
+	p = p.withDefaults()
+	pol, err := ftl.PolicyByName(policy, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.Options()
+	opts.Policy = pol
+	cfg := sim.Config{
+		Device:      flash.ScaledConfig(p.DeviceBytes),
+		Options:     opts,
+		Utilization: p.Utilization,
+	}
+	runner, err := sim.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := trace.Preset(w, runner.LogicalPages(), p.Requests, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := trace.NewPreconditioner(spec)
+	if err != nil {
+		return nil, err
+	}
+	offset, err := runner.Precondition(pre)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Replay(src, offset, string(w))
+}
