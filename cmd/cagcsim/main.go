@@ -7,18 +7,29 @@
 //
 //	cagcsim -workload Mail -scheme cagc -policy greedy
 //	cagcsim -workload Web-vm -scheme baseline -device 134217728 -requests 50000
+//	cagcsim -bench -benchout BENCH_substrate.json
+//	cagcsim -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cagc"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cagcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		workload = flag.String("workload", "Mail", "workload preset: Homes, Web-vm, or Mail")
 		scheme   = flag.String("scheme", "cagc", "scheme: baseline, inline, or cagc")
@@ -31,16 +42,21 @@ func main() {
 		qd       = flag.Int("qd", 0, "closed-loop queue depth (0 = open-loop trace replay)")
 		bufPages = flag.Int("buffer", 0, "controller write-buffer pages (0 = none)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of the text report")
+
+		bench    = flag.Bool("bench", false, "measure substrate throughput (events/sec, ns/op, allocs/op) instead of printing a report")
+		benchOut = flag.String("benchout", "BENCH_substrate.json", "file the -bench report is written to ('' = stdout only)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
 	s, err := cagc.ParseScheme(*scheme)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	w, err := findWorkload(*workload)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	p := cagc.Params{
 		DeviceBytes:  *device,
@@ -51,19 +67,62 @@ func main() {
 		QueueDepth:   *qd,
 		BufferPages:  *bufPages,
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cagcsim: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cagcsim: memprofile:", err)
+		}
+	}()
+
+	if *bench {
+		sb, err := cagc.MeasureSubstrate(w, s, *policy, p)
+		if err != nil {
+			return err
+		}
+		if err := cagc.WriteBenchJSON(os.Stdout, sb); err != nil {
+			return err
+		}
+		if *benchOut != "" {
+			if err := cagc.WriteBenchFile(*benchOut, sb); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "cagcsim: wrote", *benchOut)
+		}
+		return nil
+	}
+
 	res, err := cagc.Run(w, s, *policy, p)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *asJSON {
-		if err := cagc.WriteJSON(os.Stdout, res); err != nil {
-			fatal(err)
-		}
-		return
+		return cagc.WriteJSON(os.Stdout, res)
 	}
 	fmt.Println(cagc.TableIString(p))
 	fmt.Println()
 	cagc.FprintResult(os.Stdout, res)
+	return nil
 }
 
 func findWorkload(name string) (cagc.Workload, error) {
@@ -73,9 +132,4 @@ func findWorkload(name string) (cagc.Workload, error) {
 		}
 	}
 	return "", fmt.Errorf("unknown workload %q (want one of %v)", name, cagc.Workloads)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cagcsim:", err)
-	os.Exit(1)
 }

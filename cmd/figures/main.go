@@ -7,6 +7,7 @@
 //	figures -exp fig9       # one experiment
 //	figures -exp verify     # audit every reproduced claim
 //	figures -requests 50000 -device 134217728
+//	figures -exp fig11 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments: tableI, tableII, fig2, fig6, fig8, fig9, fig10, fig11,
 // fig12, fig13, throughput, array, ablations, verify, all.
@@ -16,30 +17,62 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"cagc"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (see command doc; 'all' runs everything)")
 		device   = flag.Int64("device", 16<<20, "physical flash bytes")
 		requests = flag.Int("requests", 20000, "measured requests per run")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		util     = flag.Float64("util", 0.55, "logical space as a fraction of user capacity")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: memprofile:", err)
+		}
+	}()
+
 	p := cagc.Params{DeviceBytes: *device, Requests: *requests, Seed: *seed, Utilization: *util}
-	var err error
 	if strings.EqualFold(*exp, "all") {
-		err = cagc.RunAllExperiments(p, os.Stdout)
-	} else {
-		err = cagc.RunExperiment(strings.ToLower(*exp), p, os.Stdout)
+		return cagc.RunAllExperiments(p, os.Stdout)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "figures:", err)
-		os.Exit(1)
-	}
+	return cagc.RunExperiment(strings.ToLower(*exp), p, os.Stdout)
 }

@@ -3,6 +3,7 @@ package event
 import "testing"
 
 func BenchmarkSimScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s := NewSim()
 		for j := 0; j < 100; j++ {
@@ -10,6 +11,25 @@ func BenchmarkSimScheduleAndRun(b *testing.B) {
 		}
 		s.Run()
 	}
+}
+
+// BenchmarkSimSteadyState measures the zero-allocation hot path: one
+// hoisted ArgHandler rescheduling itself through a warm queue.
+func BenchmarkSimSteadyState(b *testing.B) {
+	s := NewSim()
+	var sum uint64
+	h := ArgHandler(func(now Time, arg uint64) { sum += arg })
+	for j := 0; j < 64; j++ {
+		s.AfterArg(Time(j), h, 1)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.AtArg(s.Now()+Time(i%13), h, 1)
+		s.Step()
+	}
+	_ = sum
 }
 
 func BenchmarkTimelineReserve(b *testing.B) {

@@ -145,6 +145,95 @@ func TestSimRunUntil(t *testing.T) {
 	}
 }
 
+// A Stop mid-RunUntil must leave the clock at the last fired event —
+// jumping to the deadline would pretend time passed that the stopped
+// simulation never simulated.
+func TestSimRunUntilStopKeepsClock(t *testing.T) {
+	s := NewSim()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		s.After(at, func(now Time) {
+			fired = append(fired, now)
+			if now == 10 {
+				s.Stop()
+			}
+		})
+	}
+	if end := s.RunUntil(1000); end != 10 {
+		t.Fatalf("stopped RunUntil returned %v, want 10", end)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("now = %v after mid-run Stop, want 10", s.Now())
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want exactly the first 2 events", fired)
+	}
+	// Resuming runs the rest and then advances to the deadline.
+	if end := s.RunUntil(1000); end != 1000 {
+		t.Fatalf("resumed RunUntil returned %v, want 1000", end)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after resume, want all 4 events", fired)
+	}
+}
+
+func TestSimArgHandlerPath(t *testing.T) {
+	s := NewSim()
+	var got []uint64
+	h := ArgHandler(func(now Time, arg uint64) { got = append(got, arg) })
+	s.AfterArg(30, h, 3)
+	s.AfterArg(10, h, 1)
+	if err := s.AtArg(20, h, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.After(20, func(Time) { got = append(got, 99) }) // same-time FIFO with the plain path
+	s.AfterArg(-5, h, 0)                              // negative delay clamps to now
+	if err := s.AtArg(20, h, 4); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	want := []uint64{0, 1, 2, 99, 4, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	s2 := NewSim()
+	s2.After(100, func(Time) {})
+	s2.Run()
+	if err := s2.AtArg(50, h, 0); err == nil {
+		t.Fatal("AtArg in the past succeeded, want error")
+	}
+}
+
+// Steady-state scheduling through the reusable-handler path must not
+// allocate: the heap stores items by value and the hoisted ArgHandler
+// is created once. This is the regression guard for the event core's
+// zero-allocation contract.
+func TestSimSteadyStateZeroAlloc(t *testing.T) {
+	s := NewSim()
+	var sum uint64
+	h := ArgHandler(func(now Time, arg uint64) { sum += arg })
+	// Warm the queue storage past any size the loop below reaches.
+	for i := 0; i < 256; i++ {
+		s.AfterArg(Time(i), h, 1)
+	}
+	s.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = s.AtArg(s.Now()+10, h, 1)
+		s.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+fire allocated %.1f objects/op, want 0", allocs)
+	}
+	if sum == 0 {
+		t.Fatal("handler never ran")
+	}
+}
+
 func TestSimRunUntilAdvancesIdleClock(t *testing.T) {
 	s := NewSim()
 	s.RunUntil(1000)

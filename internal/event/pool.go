@@ -41,7 +41,12 @@ func (p *Pool) Ops() uint64 {
 }
 
 // ReserveAfter books dur ticks on the earliest-free unit, starting no
-// earlier than at and no earlier than dep.
+// earlier than at and no earlier than dep. Unit selection scans all K
+// units linearly — deliberate: K is the controller's hash-engine count
+// (1–8 in every configuration, never device-sized), so a scan beats
+// any priority structure and stays allocation-free. Ties on FreeAt
+// resolve to the lowest-indexed unit (strict <), which keeps the pool
+// deterministic.
 func (p *Pool) ReserveAfter(at, dep, dur Time) (start, end Time) {
 	best := p.units[0]
 	for _, u := range p.units[1:] {

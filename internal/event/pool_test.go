@@ -53,6 +53,36 @@ func TestPoolReserveAfter(t *testing.T) {
 	}
 }
 
+// Pin ReserveAfter's unit choice: earliest-free unit, and on FreeAt
+// ties the lowest-indexed one. The hash pool must stay deterministic —
+// a tie broken any other way would reorder reservations between runs.
+func TestPoolReserveAfterTieBreak(t *testing.T) {
+	p := NewPool(3)
+	p.units[0].Reserve(0, 4) // free at 4
+	p.units[1].Reserve(0, 2) // free at 2  <- earliest, tied with unit 2
+	p.units[2].Reserve(0, 2) // free at 2
+
+	s, e := p.ReserveAfter(0, 0, 5)
+	if s != 2 || e != 7 {
+		t.Fatalf("reservation [%v,%v), want [2,7) on the earliest-free unit", s, e)
+	}
+	if got := p.units[1].FreeAt(); got != 7 {
+		t.Fatalf("unit 1 free at %v, want 7 (tie must pick the lowest index)", got)
+	}
+	if got := p.units[2].FreeAt(); got != 2 {
+		t.Fatalf("unit 2 free at %v, want untouched 2", got)
+	}
+
+	// The earliest-free unit wins even when it is not the lowest index.
+	s, e = p.ReserveAfter(0, 0, 1)
+	if s != 2 || e != 3 {
+		t.Fatalf("reservation [%v,%v), want [2,3)", s, e)
+	}
+	if got := p.units[2].FreeAt(); got != 3 {
+		t.Fatalf("unit 2 free at %v, want 3 (earliest-free unit must win)", got)
+	}
+}
+
 func TestPoolBusyAggregates(t *testing.T) {
 	p := NewPool(3)
 	p.Reserve(0, 5)

@@ -37,6 +37,7 @@ func (f *FTL) pushFree(b flash.BlockID) {
 	f.freeByDie[die] = append(f.freeByDie[die], b)
 	f.freeCount++
 	f.blocks[b].state = blkFree
+	f.clearEligible(b)
 }
 
 // allocPage returns the next programmable page in the given region.
@@ -85,6 +86,9 @@ func (f *FTL) allocPage(region Region) (flash.PPN, flash.DieID, error) {
 			// Stale open block (shouldn't happen; closeIfFull retires
 			// them), repair by closing.
 			f.blocks[b].state = blkClosed
+			if blk.Invalid() > 0 {
+				f.markEligible(b)
+			}
 			f.hasHot[d] = false
 			i--
 			continue
@@ -106,6 +110,9 @@ func (f *FTL) closeIfFull(ppn flash.PPN) {
 		return
 	}
 	f.blocks[b].state = blkClosed
+	if blk.Invalid() > 0 {
+		f.markEligible(b)
+	}
 	if f.hasCold && f.coldOpen == b {
 		f.hasCold = false
 		return
@@ -245,5 +252,6 @@ func (f *FTL) CheckInvariants() error {
 	if perDie != f.freeCount {
 		return fmt.Errorf("free lists hold %d, freeCount %d", perDie, f.freeCount)
 	}
-	return nil
+	// The incremental victim set must agree with a fresh scan.
+	return f.checkEligibleSet()
 }

@@ -55,9 +55,12 @@ type FTL struct {
 	opts Options
 
 	idx     *dedup.Index
-	mapping []dedup.CID            // LPN -> CID (NilCID = unmapped)
-	owners  []dedup.CID            // PPN -> owning CID (NilCID = none)
-	lpnsOf  map[dedup.CID][]uint64 // lazy reverse map for GC-time merges
+	mapping []dedup.CID // LPN -> CID (NilCID = unmapped)
+	owners  []dedup.CID // PPN -> owning CID (NilCID = none)
+	// lpnsOf is the lazy reverse map for GC-time merges, indexed by CID
+	// (CIDs are dense and recycled by the index). Cleared entries keep
+	// their backing arrays so steady-state binds allocate nothing.
+	lpnsOf [][]uint64
 
 	blocks    []blockMeta
 	freeByDie [][]flash.BlockID
@@ -67,6 +70,15 @@ type FTL struct {
 	hasCold   bool
 	hotOpen   []flash.BlockID // per-die open hot block
 	hasHot    []bool
+
+	// gcEligible is the incremental victim set: bit b is set exactly
+	// when block b is closed and holds at least one invalid page. It is
+	// maintained on every program/invalidate/erase/retire transition so
+	// victimCandidates never scans the whole device.
+	gcEligible []uint64
+	// candScratch is the reusable victim-candidate buffer handed to
+	// victim policies; policies must not retain it across calls.
+	candScratch []Candidate
 
 	inGC        bool
 	gcBusyUntil event.Time // horizon of the latest GC flash operation
@@ -116,8 +128,8 @@ func New(dev *flash.Device, logicalPages uint64, opts Options) (*FTL, error) {
 		idx:          dedup.NewIndex(),
 		mapping:      make([]dedup.CID, logicalPages),
 		owners:       make([]dedup.CID, g.TotalPages()),
-		lpnsOf:       make(map[dedup.CID][]uint64),
 		blocks:       make([]blockMeta, g.TotalBlocks()),
+		gcEligible:   make([]uint64, (g.TotalBlocks()+63)/64),
 		freeByDie:    make([][]flash.BlockID, g.Dies()),
 		hotOpen:      make([]flash.BlockID, g.Dies()),
 		hasHot:       make([]bool, g.Dies()),
@@ -177,10 +189,28 @@ func (f *FTL) checkLPN(lpn uint64) error {
 	return nil
 }
 
+// lpnList returns the reverse-map slot for c, growing the table when a
+// fresh CID exceeds it.
+func (f *FTL) lpnList(c dedup.CID) *[]uint64 {
+	for int(c) >= len(f.lpnsOf) {
+		f.lpnsOf = append(f.lpnsOf, nil)
+	}
+	return &f.lpnsOf[c]
+}
+
+// clearLPNs empties c's reverse-map slot, keeping the backing array for
+// the CID's next tenant (the index recycles CIDs).
+func (f *FTL) clearLPNs(c dedup.CID) {
+	if int(c) < len(f.lpnsOf) {
+		f.lpnsOf[c] = f.lpnsOf[c][:0]
+	}
+}
+
 // bind points lpn at cid, maintaining the lazy reverse map.
 func (f *FTL) bind(lpn uint64, c dedup.CID) {
 	f.mapping[lpn] = c
-	f.lpnsOf[c] = append(f.lpnsOf[c], lpn)
+	l := f.lpnList(c)
+	*l = append(*l, lpn)
 }
 
 // Write services one page-sized user write of content fp to lpn at
@@ -282,11 +312,11 @@ func (f *FTL) unbindOld(old dedup.CID) error {
 	if ref > 0 {
 		return nil
 	}
-	if err := f.dev.Invalidate(ppn); err != nil {
+	if err := f.invalidatePage(ppn); err != nil {
 		return fmt.Errorf("ftl: invalidating dead content: %w", err)
 	}
 	f.owners[ppn] = dedup.NilCID
-	delete(f.lpnsOf, old)
+	f.clearLPNs(old)
 	f.RefDist.Add(peak)
 	return nil
 }

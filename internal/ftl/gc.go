@@ -3,6 +3,7 @@ package ftl
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"cagc/internal/dedup"
 	"cagc/internal/event"
@@ -143,25 +144,35 @@ func (f *FTL) CollectAll(now event.Time) error {
 	return nil
 }
 
-// victimCandidates lists closed blocks with at least one invalid page.
+// victimCandidates lists closed blocks with at least one invalid page,
+// in ascending block order. It walks the incremental eligible set — an
+// O(eligible) enumeration, not an O(device) scan — and fills the FTL's
+// scratch buffer, so steady-state GC triggers allocate nothing. The
+// returned slice is only valid until the next call.
 func (f *FTL) victimCandidates() []Candidate {
-	cands := make([]Candidate, 0, 64)
-	for b := range f.blocks {
-		if f.blocks[b].state != blkClosed {
-			continue
+	cands := f.candScratch[:0]
+	for w, word := range f.gcEligible {
+		base := flash.BlockID(w * 64)
+		for word != 0 {
+			b := base + flash.BlockID(bits.TrailingZeros64(word))
+			word &= word - 1
+			blk, err := f.dev.Block(b)
+			if err != nil {
+				// The eligible set only ever holds in-range blocks; an
+				// error here means the set and the device disagree —
+				// corruption, not a skippable candidate.
+				panic(fmt.Sprintf("ftl: victim set holds unreachable block %d: %v", b, err))
+			}
+			cands = append(cands, Candidate{
+				Block:       b,
+				Valid:       blk.Valid(),
+				Invalid:     blk.Invalid(),
+				Erases:      blk.Erases(),
+				LastProgram: event.Time(blk.LastProgram()),
+			})
 		}
-		blk, err := f.dev.Block(flash.BlockID(b))
-		if err != nil || blk.Invalid() == 0 {
-			continue
-		}
-		cands = append(cands, Candidate{
-			Block:       flash.BlockID(b),
-			Valid:       blk.Valid(),
-			Invalid:     blk.Invalid(),
-			Erases:      blk.Erases(),
-			LastProgram: event.Time(blk.LastProgram()),
-		})
 	}
+	f.candScratch = cands
 	return cands
 }
 
@@ -216,6 +227,7 @@ func (f *FTL) collect(now event.Time, victim flash.BlockID) error {
 		// were already migrated, so no data is lost — the device just
 		// shrinks by one block.
 		f.blocks[victim].state = blkDead
+		f.clearEligible(victim)
 		f.stats.BadBlocks++
 		return nil
 	}
@@ -298,7 +310,7 @@ func (f *FTL) migrateUnindexed(now event.Time, cursor *event.Time, overlap bool,
 		if err != nil {
 			return 0, err
 		}
-		if err := f.dev.Invalidate(ppn); err != nil {
+		if err := f.invalidatePage(ppn); err != nil {
 			return 0, err
 		}
 		f.owners[ppn] = dedup.NilCID
@@ -372,7 +384,7 @@ func (f *FTL) relocateAfter(now, dataReady event.Time, oldPPN flash.PPN, c dedup
 	}
 	f.owners[dest] = c
 	f.closeIfFull(dest)
-	if err := f.dev.Invalidate(oldPPN); err != nil {
+	if err := f.invalidatePage(oldPPN); err != nil {
 		return 0, err
 	}
 	f.owners[oldPPN] = dedup.NilCID
@@ -426,7 +438,7 @@ func (f *FTL) promote(now, after event.Time, c dedup.CID) (event.Time, bool, err
 	}
 	f.owners[dest] = c
 	f.closeIfFull(dest)
-	if err := f.dev.Invalidate(ppn); err != nil {
+	if err := f.invalidatePage(ppn); err != nil {
 		return 0, false, err
 	}
 	f.owners[ppn] = dedup.NilCID
@@ -438,11 +450,12 @@ func (f *FTL) promote(now, after event.Time, c dedup.CID) (event.Time, bool, err
 // is maintained lazily (append-only with stale entries), so each entry
 // is verified against the forward mapping before remapping.
 func (f *FTL) remapAll(from, to dedup.CID) {
+	toList := f.lpnList(to) // may grow the table; take it first
 	for _, lpn := range f.lpnsOf[from] {
 		if f.mapping[lpn] == from {
 			f.mapping[lpn] = to
-			f.lpnsOf[to] = append(f.lpnsOf[to], lpn)
+			*toList = append(*toList, lpn)
 		}
 	}
-	delete(f.lpnsOf, from)
+	f.clearLPNs(from)
 }

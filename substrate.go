@@ -1,0 +1,117 @@
+package cagc
+
+// Substrate performance tracking. The simulator's throughput bounds how
+// far seed sweeps, queue-depth curves, and array studies can scale, so
+// the hot-loop numbers (events/sec, ns per run, allocations per run)
+// are measured by a harness that any command can invoke and are
+// persisted as BENCH_substrate.json at the repository root — one file,
+// rewritten by each performance PR, so the trajectory is reviewable in
+// version control.
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// SubstrateBench is the machine-readable record of one substrate
+// benchmark: the BenchmarkSubstrateSingleRun workload (a full
+// precondition + replay of one scheme on one trace) timed with the
+// testing package's benchmark driver.
+type SubstrateBench struct {
+	Workload    string `json:"workload"`
+	Scheme      string `json:"scheme"`
+	Policy      string `json:"policy"`
+	Requests    int    `json:"requests"`
+	DeviceBytes int64  `json:"device_bytes"`
+
+	Runs        int   `json:"runs"`          // benchmark iterations measured
+	NsPerOp     int64 `json:"ns_per_op"`     // wall time per full simulation
+	AllocsPerOp int64 `json:"allocs_per_op"` // heap allocations per full simulation
+	BytesPerOp  int64 `json:"bytes_per_op"`  // heap bytes per full simulation
+
+	// EventsPerOp counts the simulated operations of the measured phase
+	// of one run (requests, flash reads/programs/erases, hash ops);
+	// EventsPerSec divides by wall time — the headline throughput
+	// metric tracked across PRs.
+	EventsPerOp  uint64  `json:"events_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	GoVersion string `json:"go_version"`
+	GoArch    string `json:"go_arch"`
+}
+
+// simulatedEvents tallies the discrete operations the substrate
+// processed during the measured phase of a run.
+func simulatedEvents(r *Result) uint64 {
+	return r.Requests +
+		r.FTL.UserReadPages + r.FTL.UserWritePages + r.FTL.UserTrimPages +
+		r.FTL.GCReads + r.FTL.TotalPrograms() + r.FTL.BlocksErased +
+		r.FTL.HashOps
+}
+
+// MeasureSubstrate times Run(w, s, policy, p) under the testing
+// package's benchmark driver and returns the substrate report. One
+// calibration run validates the configuration and counts events before
+// timing starts.
+func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*SubstrateBench, error) {
+	p = p.withDefaults()
+	calib, err := Run(w, s, policy, p)
+	if err != nil {
+		return nil, err
+	}
+	var benchErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(w, s, policy, p); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	sb := &SubstrateBench{
+		Workload:    string(w),
+		Scheme:      s.String(),
+		Policy:      policy,
+		Requests:    p.Requests,
+		DeviceBytes: p.DeviceBytes,
+		Runs:        br.N,
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		EventsPerOp: simulatedEvents(calib),
+		GoVersion:   runtime.Version(),
+		GoArch:      runtime.GOARCH,
+	}
+	if br.T > 0 {
+		sb.EventsPerSec = float64(sb.EventsPerOp) * float64(br.N) / br.T.Seconds()
+	}
+	return sb, nil
+}
+
+// WriteBenchJSON emits the report as indented JSON.
+func WriteBenchJSON(w io.Writer, sb *SubstrateBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sb)
+}
+
+// WriteBenchFile writes the report to path (the tracked
+// BENCH_substrate.json when invoked from cagcsim -bench).
+func WriteBenchFile(path string, sb *SubstrateBench) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBenchJSON(f, sb); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,44 @@
+package cagc
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMeasureSubstrateReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("substrate measurement runs the benchmark driver")
+	}
+	p := Params{DeviceBytes: 16 << 20, Requests: 2000, Seed: 1}
+	sb, err := MeasureSubstrate(Mail, CAGC, "greedy", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Runs <= 0 || sb.NsPerOp <= 0 {
+		t.Fatalf("empty measurement: %+v", sb)
+	}
+	if sb.EventsPerOp == 0 || sb.EventsPerSec <= 0 {
+		t.Fatalf("no simulated events counted: %+v", sb)
+	}
+	if sb.Workload != string(Mail) || sb.Scheme != CAGC.String() {
+		t.Fatalf("mislabelled report: %+v", sb)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_substrate.json")
+	if err := WriteBenchFile(path, sb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SubstrateBench
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != *sb {
+		t.Fatalf("report did not round-trip:\n got %+v\nwant %+v", back, *sb)
+	}
+}
