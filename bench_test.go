@@ -10,7 +10,9 @@ package cagc
 //
 // Benches run a scaled-down device (16 MiB, 4000 requests) so a full
 // sweep completes in seconds; cmd/figures runs the same harness at the
-// default (larger) scale.
+// default (larger) scale. Figure benches go through the warm-state
+// snapshot cache, exactly as cmd/figures does; the cold-path baseline
+// is BenchmarkSubstrateSingleRun below.
 
 import (
 	"strconv"
@@ -204,10 +206,30 @@ func BenchmarkAblateUtilization(b *testing.B) {
 }
 
 // Micro-benchmarks of the substrate hot paths.
+//
+// SingleRun forces a cold start (build + precondition + replay every
+// iteration) so its numbers stay comparable with MeasureSubstrate and
+// across PRs; WarmRun measures the snapshot-cache path (clone +
+// replay) the sweeps above actually take after their first point.
 
 func BenchmarkSubstrateSingleRun(b *testing.B) {
 	p := benchParams()
+	p.ColdStart = true
 	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Mail, CAGC, "greedy", p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateWarmRun(b *testing.B) {
+	p := benchParams()
+	if _, err := Run(Mail, CAGC, "greedy", p); err != nil {
+		b.Fatal(err) // populate the snapshot cache outside the timer
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(Mail, CAGC, "greedy", p); err != nil {
 			b.Fatal(err)

@@ -104,6 +104,12 @@ type Params struct {
 	// are retired by bad-block management (0 = unlimited, the usual
 	// simulation setting).
 	EraseLimit int
+	// ColdStart bypasses the warm-state snapshot cache: the device is
+	// built and preconditioned from scratch even when a matching warm
+	// state is cached. Results are bit-identical either way; cold
+	// starts trade wall-clock for not retaining snapshots in memory
+	// (relevant at very large DeviceBytes).
+	ColdStart bool
 }
 
 func (p Params) withDefaults() Params {
@@ -137,9 +143,20 @@ func Run(w Workload, s Scheme, policy string, p Params) (*Result, error) {
 // hash/erase overlap).
 func RunOptions(w Workload, opts Options, policy string, p Params) (*Result, error) {
 	p = p.withDefaults()
-	pol, err := ftl.PolicyByName(policy, p.Seed)
+	cfg, spec, err := buildRun(w, opts, policy, p)
 	if err != nil {
 		return nil, err
+	}
+	return runCached(cfg, spec, p)
+}
+
+// buildRun assembles the simulator configuration and workload spec one
+// run needs; shared by RunOptions and the substrate bench harness.
+// p must already carry defaults.
+func buildRun(w Workload, opts Options, policy string, p Params) (sim.Config, trace.Spec, error) {
+	pol, err := ftl.PolicyByName(policy, p.Seed)
+	if err != nil {
+		return sim.Config{}, trace.Spec{}, err
 	}
 	opts.Policy = pol
 	if opts.RefThreshold == 0 || p.RefThreshold != 1 {
@@ -163,15 +180,11 @@ func RunOptions(w Workload, opts Options, policy string, p Params) (*Result, err
 		BufferPages: p.BufferPages,
 		QueueDepth:  p.QueueDepth,
 	}
-	runner, err := sim.NewRunner(cfg)
+	spec, err := trace.Preset(w, sim.LogicalPagesOf(cfg), p.Requests, p.Seed)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, trace.Spec{}, err
 	}
-	spec, err := trace.Preset(w, runner.LogicalPages(), p.Requests, p.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(cfg, spec)
+	return cfg, spec, nil
 }
 
 // reduction returns 1 - with/without as a fraction (e.g. 0.45 = 45%

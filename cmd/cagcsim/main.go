@@ -43,6 +43,8 @@ func run() error {
 		bufPages = flag.Int("buffer", 0, "controller write-buffer pages (0 = none)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of the text report")
 
+		cold     = flag.Bool("coldstart", false, "bypass the warm-state snapshot cache (build and precondition from scratch)")
+
 		bench    = flag.Bool("bench", false, "measure substrate throughput (events/sec, ns/op, allocs/op) instead of printing a report")
 		benchOut = flag.String("benchout", "BENCH_substrate.json", "file the -bench report is written to ('' = stdout only)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -66,6 +68,7 @@ func run() error {
 		RefThreshold: *thresh,
 		QueueDepth:   *qd,
 		BufferPages:  *bufPages,
+		ColdStart:    *cold,
 	}
 
 	if *cpuProf != "" {
@@ -116,6 +119,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reportCache()
 	if *asJSON {
 		return cagc.WriteJSON(os.Stdout, res)
 	}
@@ -123,6 +127,17 @@ func run() error {
 	fmt.Println()
 	cagc.FprintResult(os.Stdout, res)
 	return nil
+}
+
+// reportCache prints warm-state snapshot cache activity to stderr
+// (stdout stays machine-readable).
+func reportCache() {
+	st := cagc.WarmCacheStats()
+	if st.Hits+st.Misses == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "cagcsim: warm-state cache: %d hits, %d misses, %d snapshots\n",
+		st.Hits, st.Misses, st.Snapshots)
 }
 
 func findWorkload(name string) (cagc.Workload, error) {

@@ -38,6 +38,7 @@ func run() error {
 		requests = flag.Int("requests", 20000, "measured requests per run")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		util     = flag.Float64("util", 0.55, "logical space as a fraction of user capacity")
+		cold     = flag.Bool("coldstart", false, "bypass the warm-state snapshot cache (build and precondition every run from scratch)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -70,7 +71,14 @@ func run() error {
 		}
 	}()
 
-	p := cagc.Params{DeviceBytes: *device, Requests: *requests, Seed: *seed, Utilization: *util}
+	p := cagc.Params{DeviceBytes: *device, Requests: *requests, Seed: *seed, Utilization: *util, ColdStart: *cold}
+	defer func() {
+		st := cagc.WarmCacheStats()
+		if st.Hits+st.Misses > 0 {
+			fmt.Fprintf(os.Stderr, "figures: warm-state cache: %d hits, %d misses, %d snapshots\n",
+				st.Hits, st.Misses, st.Snapshots)
+		}
+	}()
 	if strings.EqualFold(*exp, "all") {
 		return cagc.RunAllExperiments(p, os.Stdout)
 	}

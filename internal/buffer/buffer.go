@@ -59,6 +59,26 @@ func New(f *ftl.FTL, capPages int) (*WriteBuffer, error) {
 	}, nil
 }
 
+// Clone returns a deep, independent copy of the buffer bound to f — the
+// cloned FTL the copy must flush into. Slot contents and LRU order are
+// reproduced exactly, so the copy coalesces, evicts, and drains the
+// same pages at the same times the original would.
+func (b *WriteBuffer) Clone(f *ftl.FTL) *WriteBuffer {
+	c := &WriteBuffer{
+		f:     f,
+		cap:   b.cap,
+		lru:   list.New(),
+		index: make(map[uint64]*list.Element, len(b.index)),
+		ctrl:  b.ctrl,
+		stats: b.stats,
+	}
+	for el := b.lru.Front(); el != nil; el = el.Next() {
+		s := *el.Value.(*slot)
+		c.index[s.lpn] = c.lru.PushBack(&s)
+	}
+	return c
+}
+
 // Stats returns a copy of the counters.
 func (b *WriteBuffer) Stats() Stats { return b.stats }
 

@@ -1,0 +1,34 @@
+package dedup
+
+import (
+	"container/list"
+	"slices"
+)
+
+// Clone returns a deep, independent copy of the index: entries,
+// fingerprint map, free-CID stack, counters, and the capacity bound's
+// recency list. The LRU order is reproduced element for element, so a
+// clone evicts the same fingerprints at the same moments a cold index
+// in this state would.
+func (x *Index) Clone() *Index {
+	c := &Index{
+		byFP:     make(map[Fingerprint]CID, len(x.byFP)),
+		entries:  slices.Clone(x.entries),
+		freeIDs:  slices.Clone(x.freeIDs),
+		live:     x.live,
+		stats:    x.stats,
+		capacity: x.capacity,
+	}
+	for fp, cid := range x.byFP {
+		c.byFP[fp] = cid
+	}
+	if x.lru != nil {
+		c.lru = list.New()
+		c.lruPos = make(map[CID]*list.Element, len(x.lruPos))
+		for el := x.lru.Front(); el != nil; el = el.Next() {
+			cid := el.Value.(CID)
+			c.lruPos[cid] = c.lru.PushBack(cid)
+		}
+	}
+	return c
+}

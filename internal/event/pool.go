@@ -22,6 +22,17 @@ func NewPool(k int) *Pool {
 // Units returns the number of parallel units.
 func (p *Pool) Units() int { return len(p.units) }
 
+// Clone returns an independent copy of the pool. Unit order is
+// preserved, so the earliest-free tie-break (lowest index) makes the
+// same choices on the copy as on the original.
+func (p *Pool) Clone() *Pool {
+	c := &Pool{units: make([]*Timeline, len(p.units))}
+	for i, u := range p.units {
+		c.units[i] = u.Clone()
+	}
+	return c
+}
+
 // Busy returns the cumulative busy time across all units.
 func (p *Pool) Busy() Time {
 	var b Time

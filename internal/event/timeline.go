@@ -55,6 +55,13 @@ func (tl *Timeline) ReserveAfter(at, dep, dur Time) (start, end Time) {
 	return tl.Reserve(at, dur)
 }
 
+// Clone returns an independent copy of the timeline. Timeline state is
+// three scalars, so the copy is exact by construction.
+func (tl *Timeline) Clone() *Timeline {
+	c := *tl
+	return &c
+}
+
 // Utilization returns busy time divided by the span [0, horizon].
 // A zero or negative horizon yields 0.
 func (tl *Timeline) Utilization(horizon Time) float64 {

@@ -1,0 +1,34 @@
+package flash
+
+import (
+	"slices"
+
+	"cagc/internal/event"
+)
+
+// Clone returns a deep, independent copy of the device: page states and
+// tags, per-die timelines, the hash-engine pool, and every counter.
+// Mutating either device never affects the other, and a cloned device
+// replays the exact operation stream a cold device in the same state
+// would — warm-state snapshots depend on that.
+func (d *Device) Clone() *Device {
+	c := &Device{
+		cfg:    d.cfg,
+		blocks: make([]Block, len(d.blocks)),
+		dies:   make([]*event.Timeline, len(d.dies)),
+		hash:   d.hash.Clone(),
+		stats:  d.stats,
+		dieOps: slices.Clone(d.dieOps),
+		now:    d.now,
+	}
+	for i := range d.blocks {
+		b := d.blocks[i]
+		b.states = slices.Clone(b.states)
+		b.tags = slices.Clone(b.tags)
+		c.blocks[i] = b
+	}
+	for i, tl := range d.dies {
+		c.dies[i] = tl.Clone()
+	}
+	return c
+}

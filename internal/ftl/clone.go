@@ -1,0 +1,83 @@
+package ftl
+
+import (
+	"container/list"
+	"slices"
+
+	"cagc/internal/flash"
+)
+
+// Clone returns a deep, independent copy of the FTL bound to dev, which
+// must be a clone of the original's device (the two are snapshotted
+// together — see sim.Runner.Clone). Every piece of mutable state is
+// duplicated: mapping tables, the dedup index, block metadata, free
+// lists, write frontiers, the GC-eligible bitmap, the cached mapping
+// table, and the victim policy when it carries state (ClonablePolicy).
+// The victim scratch buffer is deliberately not copied; it is rebuilt
+// on the next GC invocation and never holds live data across calls.
+//
+// The contract is bit-identity: feeding the clone and the original the
+// same operation stream produces identical results and identical
+// internal state, which is what lets warm-state snapshots stand in for
+// cold preconditioning runs.
+func (f *FTL) Clone(dev *flash.Device) *FTL {
+	c := &FTL{
+		dev:          dev,
+		opts:         f.opts,
+		idx:          f.idx.Clone(),
+		mapping:      slices.Clone(f.mapping),
+		owners:       slices.Clone(f.owners),
+		lpnsOf:       make([][]uint64, len(f.lpnsOf)),
+		blocks:       slices.Clone(f.blocks),
+		freeByDie:    make([][]flash.BlockID, len(f.freeByDie)),
+		freeCount:    f.freeCount,
+		hotRR:        f.hotRR,
+		coldOpen:     f.coldOpen,
+		hasCold:      f.hasCold,
+		hotOpen:      slices.Clone(f.hotOpen),
+		hasHot:       slices.Clone(f.hasHot),
+		gcEligible:   slices.Clone(f.gcEligible),
+		inGC:         f.inGC,
+		gcBusyUntil:  f.gcBusyUntil,
+		stats:        f.stats,
+		RefDist:      f.RefDist,
+		logicalPages: f.logicalPages,
+	}
+	for i, l := range f.lpnsOf {
+		c.lpnsOf[i] = slices.Clone(l)
+	}
+	for i, l := range f.freeByDie {
+		c.freeByDie[i] = slices.Clone(l)
+	}
+	if cp, ok := f.opts.Policy.(ClonablePolicy); ok {
+		c.opts.Policy = cp.ClonePolicy()
+	}
+	if f.cmt != nil {
+		c.cmt = f.cmt.clone()
+	}
+	return c
+}
+
+// clone duplicates the cached mapping table, reproducing the LRU order
+// element for element so the copy evicts the same translation pages the
+// original would.
+func (c *cmt) clone() *cmt {
+	n := &cmt{
+		capPages:  c.capPages,
+		lru:       list.New(),
+		pos:       make(map[uint64]*list.Element, len(c.pos)),
+		dirty:     make(map[uint64]bool, len(c.dirty)),
+		hits:      c.hits,
+		misses:    c.misses,
+		evictions: c.evictions,
+		writeback: c.writeback,
+	}
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		page := el.Value.(uint64)
+		n.pos[page] = n.lru.PushBack(page)
+	}
+	for p, d := range c.dirty {
+		n.dirty[p] = d
+	}
+	return n
+}

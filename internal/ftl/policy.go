@@ -8,7 +8,6 @@ package ftl
 
 import (
 	"fmt"
-	"math/rand"
 
 	"cagc/internal/event"
 	"cagc/internal/flash"
@@ -56,16 +55,30 @@ func (GreedyPolicy) Select(_ event.Time, cands []Candidate) flash.BlockID {
 	return best.Block
 }
 
-// RandomPolicy selects a uniformly random block among those with
-// invalid pages — cheap and naturally wear-leveling, per the paper's
-// first approach.
-type RandomPolicy struct {
-	rng *rand.Rand
+// ClonablePolicy is implemented by victim policies that carry mutable
+// state (a PRNG stream, decision history). Warm-state snapshots copy
+// such policies so a cloned FTL sees the exact decision stream the
+// original would have produced from this point on. Stateless policies
+// need not implement it — copying the interface value is already safe.
+type ClonablePolicy interface {
+	VictimPolicy
+	// ClonePolicy returns an independent policy with identical state.
+	ClonePolicy() VictimPolicy
 }
 
-// NewRandomPolicy returns a seeded random policy.
+// RandomPolicy selects a uniformly random block among those with
+// invalid pages — cheap and naturally wear-leveling, per the paper's
+// first approach. The generator is a splitmix64 stream held as a single
+// word of state so the policy can be copied mid-stream (ClonePolicy).
+type RandomPolicy struct {
+	state uint64
+}
+
+// NewRandomPolicy returns a seeded random policy. Distinct seeds yield
+// distinct streams (the seed is spread by an odd multiplier, a
+// bijection on 64-bit words).
 func NewRandomPolicy(seed int64) *RandomPolicy {
-	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+	return &RandomPolicy{state: uint64(seed) * 0x9e3779b97f4a7c15}
 }
 
 // Name implements VictimPolicy.
@@ -73,7 +86,18 @@ func (*RandomPolicy) Name() string { return "random" }
 
 // Select implements VictimPolicy.
 func (p *RandomPolicy) Select(_ event.Time, cands []Candidate) flash.BlockID {
-	return cands[p.rng.Intn(len(cands))].Block
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return cands[z%uint64(len(cands))].Block
+}
+
+// ClonePolicy implements ClonablePolicy.
+func (p *RandomPolicy) ClonePolicy() VictimPolicy {
+	c := *p
+	return &c
 }
 
 // CostBenefitPolicy implements the classic cost-benefit score

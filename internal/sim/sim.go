@@ -95,7 +95,7 @@ type Result struct {
 
 	// Timeline buckets response times into 10 ms windows of measured
 	// time (relative to the first arrival), making GC-induced latency
-	// spikes visible; nil until the first request completes.
+	// spikes visible; nil when the replay saw no requests.
 	Timeline *metrics.TimeSeries
 
 	// Device state at the end.
@@ -146,6 +146,14 @@ type Runner struct {
 	buf *buffer.WriteBuffer // nil unless BufferPages > 0
 }
 
+// LogicalPagesOf returns the logical address-space size a runner built
+// from cfg would export, without building one — workload specs must
+// target exactly this size.
+func LogicalPagesOf(cfg Config) uint64 {
+	cfg = cfg.withDefaults()
+	return uint64(float64(cfg.Device.UserPages()) * cfg.Utilization)
+}
+
 // NewRunner builds the device and FTL.
 func NewRunner(cfg Config) (*Runner, error) {
 	cfg = cfg.withDefaults()
@@ -153,7 +161,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	logical := uint64(float64(cfg.Device.UserPages()) * cfg.Utilization)
+	logical := LogicalPagesOf(cfg)
 	f, err := ftl.New(dev, logical, cfg.Options)
 	if err != nil {
 		return nil, err
@@ -270,24 +278,35 @@ func (r *Runner) Replay(src trace.Source, offset event.Time, workload string) (*
 
 	var firstArrival event.Time = -1
 	var lastDone event.Time
-	// Closed-loop window of outstanding completion times (QueueDepth
-	// entries once warm); completions are consumed oldest-first.
-	var window []event.Time
+	// Closed-loop window of outstanding completion times, kept sorted
+	// ascending in a fixed ring of QueueDepth slots: the oldest
+	// completion pops from head, each new one insertion-sorts in from
+	// the tail (the window is tiny). A ring, rather than a slice that
+	// reslices its front away, keeps the replay loop allocation-free.
+	var (
+		window     []event.Time
+		head, live int
+	)
+	if qd := r.cfg.QueueDepth; qd > 0 {
+		window = make([]event.Time, qd)
+	}
 	next, have := src.Next()
 	for have {
 		req := next
 		next, have = src.Next()
-		if r.cfg.QueueDepth > 0 {
+		if qd := r.cfg.QueueDepth; qd > 0 {
 			req.At = offset
-			if len(window) >= r.cfg.QueueDepth {
-				req.At = window[0]
-				window = window[1:]
+			if live >= qd {
+				req.At = window[head]
+				head = (head + 1) % qd
+				live--
 			}
 		} else {
 			req.At += offset
 		}
 		if firstArrival < 0 {
 			firstArrival = req.At
+			res.Timeline = metrics.NewTimeSeries(10 * event.Millisecond)
 		}
 		done, err := r.serveRequest(req)
 		if err != nil {
@@ -296,15 +315,15 @@ func (r *Runner) Replay(src trace.Source, offset event.Time, workload string) (*
 		if done > lastDone {
 			lastDone = done
 		}
-		if r.cfg.QueueDepth > 0 {
-			// Insert in completion order (the window is tiny).
-			pos := len(window)
-			for pos > 0 && window[pos-1] > done {
-				pos--
+		if qd := r.cfg.QueueDepth; qd > 0 {
+			// Shift later completions up, then drop done into place.
+			i := live
+			for i > 0 && window[(head+i-1)%qd] > done {
+				window[(head+i)%qd] = window[(head+i-1)%qd]
+				i--
 			}
-			window = append(window, 0)
-			copy(window[pos+1:], window[pos:])
-			window[pos] = done
+			window[(head+i)%qd] = done
+			live++
 		} else if have {
 			nextAt := next.At + offset
 			if nextAt-req.At > idleGCGap {
@@ -318,9 +337,6 @@ func (r *Runner) Replay(src trace.Source, offset event.Time, workload string) (*
 			lat = 0 // zero-page (fully clipped) requests
 		}
 		res.Latency.Record(lat)
-		if res.Timeline == nil {
-			res.Timeline = metrics.NewTimeSeries(10 * event.Millisecond)
-		}
 		res.Timeline.Record(req.At-firstArrival, lat)
 		if req.At < r.f.GCBusyUntil() {
 			res.GCLatency.Record(lat)

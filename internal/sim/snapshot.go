@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+
+	"cagc/internal/event"
+	"cagc/internal/trace"
+)
+
+// Warm-state snapshots. Preconditioning dominates the wall-clock of
+// short measured runs (the fill is O(logical pages) regardless of how
+// few requests are measured), and sweeps re-derive the identical warm
+// state for every point. A Snapshot captures one preconditioned Runner
+// and hands out deep clones, so a sweep pays the fill once. The
+// contract is bit-identity: a run replayed on a clone produces exactly
+// the Result a cold build-precondition-replay run would.
+
+// Snapshot is a preconditioned SSD frozen at its settle time. The
+// captured runner is pristine — it is only ever cloned, never replayed
+// directly — so every NewRunner call starts from the identical state.
+// Snapshot is safe for concurrent NewRunner calls once built.
+type Snapshot struct {
+	cfg    Config     // normalized build configuration
+	offset event.Time // precondition settle time
+	master *Runner
+}
+
+// Clone returns a deep, independent copy of the runner: device, FTL,
+// and write buffer, rebound to each other. See ftl.FTL.Clone for the
+// bit-identity contract.
+func (r *Runner) Clone() *Runner {
+	dev := r.dev.Clone()
+	c := &Runner{cfg: r.cfg, dev: dev, f: r.f.Clone(dev)}
+	if r.buf != nil {
+		c.buf = r.buf.Clone(c.f)
+	}
+	return c
+}
+
+// NewSnapshot builds a runner for cfg and runs spec's preconditioning
+// fill (unless cfg.SkipPrecondition), capturing the warm state. Only
+// the precondition-relevant parts of spec matter here — LogicalPages,
+// DedupRatio, ContentSkew, ContentPool, and the precondition seed; the
+// measured-trace parameters (request count, arrival process, Seed) may
+// differ freely between the snapshot and later RunWarm calls.
+func NewSnapshot(cfg Config, spec trace.Spec) (*Snapshot, error) {
+	r, err := NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if spec.LogicalPages != r.LogicalPages() {
+		return nil, fmt.Errorf("sim: workload spec covers %d logical pages, device exports %d",
+			spec.LogicalPages, r.LogicalPages())
+	}
+	var offset event.Time
+	if !cfg.SkipPrecondition {
+		pre, err := trace.NewPreconditioner(spec)
+		if err != nil {
+			return nil, err
+		}
+		if offset, err = r.Precondition(pre); err != nil {
+			return nil, err
+		}
+	}
+	return &Snapshot{cfg: cfg.withDefaults(), offset: offset, master: r}, nil
+}
+
+// Offset returns the precondition settle time — the arrival-time shift
+// a replay over this snapshot must use.
+func (s *Snapshot) Offset() event.Time { return s.offset }
+
+// NewRunner returns an independent warm runner adopting cfg. The
+// build-affecting parameters must match the snapshot's; QueueDepth is
+// replay-only and may differ (a queue-depth sweep shares one warm
+// state). For a stateful victim policy the snapshot's policy state is
+// the one that carries over — cfg's policy instance contributes only
+// its name, so it must be constructed with the same seed.
+func (s *Snapshot) NewRunner(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	if err := s.compatible(cfg); err != nil {
+		return nil, err
+	}
+	r := s.master.Clone()
+	r.cfg = cfg
+	return r, nil
+}
+
+// compatible rejects configurations whose warm state would differ from
+// the snapshot's.
+func (s *Snapshot) compatible(cfg Config) error {
+	a, b := s.cfg, cfg
+	a.QueueDepth, b.QueueDepth = 0, 0
+	an, bn := "", ""
+	if a.Options.Policy != nil {
+		an = a.Options.Policy.Name()
+	}
+	if b.Options.Policy != nil {
+		bn = b.Options.Policy.Name()
+	}
+	a.Options.Policy, b.Options.Policy = nil, nil
+	if an != bn || a != b {
+		return fmt.Errorf("sim: snapshot built for %+v (policy %q) cannot serve %+v (policy %q)", a, an, b, bn)
+	}
+	return nil
+}
+
+// RunWarm is Run starting from a warm snapshot: clone, replay, check
+// invariants. Given a snapshot keyed to cfg and spec's precondition
+// parameters, the Result is bit-identical to Run(cfg, spec).
+func RunWarm(snap *Snapshot, cfg Config, spec trace.Spec) (*Result, error) {
+	r, err := snap.NewRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if spec.LogicalPages != r.LogicalPages() {
+		return nil, fmt.Errorf("sim: workload spec covers %d logical pages, device exports %d",
+			spec.LogicalPages, r.LogicalPages())
+	}
+	gen, err := trace.NewGenerator(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Replay(gen, snap.offset, spec.Name)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.f.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sim: post-run invariant violation: %w", err)
+	}
+	return res, nil
+}

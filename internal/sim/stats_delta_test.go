@@ -28,4 +28,19 @@ func TestSubStatsCoversAllFields(t *testing.T) {
 	if got := subStats(a, a); got != (ftl.Stats{}) {
 		t.Errorf("subStats(a, a) != 0: %+v", got)
 	}
+
+	// Distinct per-field values on both sides, expected delta computed
+	// by reflection: catches not just dropped fields but cross-wired
+	// ones (a.X - b.Y).
+	var b, want ftl.Stats
+	vb := reflect.ValueOf(&b).Elem()
+	vw := reflect.ValueOf(&want).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(uint64(1000 * (i + 1)))
+		vb.Field(i).SetUint(uint64(i + 1))
+		vw.Field(i).SetUint(uint64(1000*(i+1) - (i + 1)))
+	}
+	if got := subStats(a, b); got != want {
+		t.Errorf("subStats(a, b):\n got %+v\nwant %+v", got, want)
+	}
 }

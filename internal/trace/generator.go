@@ -57,6 +57,12 @@ type Spec struct {
 	AddrSkew float64
 	// Seed makes the stream reproducible.
 	Seed int64
+	// PrecondSeed, when nonzero, seeds the preconditioning pass
+	// independently of Seed, so a sweep over measured-trace seeds
+	// starts every run from the same warm device state (the warm-state
+	// snapshot cache keys on it). Zero derives the precondition stream
+	// from Seed — every distinct Seed then preconditions differently.
+	PrecondSeed int64
 }
 
 // Validate checks the spec for generability.

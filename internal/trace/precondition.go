@@ -23,7 +23,11 @@ func NewPreconditioner(spec Spec) (*Preconditioner, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed))
+	seed := spec.Seed
+	if spec.PrecondSeed != 0 {
+		seed = spec.PrecondSeed
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
 	const chunk = 8
 	nChunks := int((spec.LogicalPages + chunk - 1) / chunk)
 	order := rng.Perm(nChunks)

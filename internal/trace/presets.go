@@ -80,6 +80,11 @@ func Preset(w WorkloadName, logicalPages uint64, requests int, seed int64) (Spec
 		AddrSkew:         1.2,
 		ContentPool:      contentPool(logicalPages),
 		Seed:             seed,
+		// Presets pin the preconditioning stream to a fixed seed: the
+		// warm state is a property of the device and workload class, not
+		// of the measured trace, so seed sweeps start from one steady
+		// state (and the warm-state snapshot cache can serve them all).
+		PrecondSeed: 1,
 	}
 	switch w {
 	case Mail:

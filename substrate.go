@@ -10,10 +10,15 @@ package cagc
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"testing"
+	"time"
+
+	"cagc/internal/sim"
+	"cagc/internal/trace"
 )
 
 // SubstrateBench is the machine-readable record of one substrate
@@ -39,8 +44,33 @@ type SubstrateBench struct {
 	EventsPerOp  uint64  `json:"events_per_op"`
 	EventsPerSec float64 `json:"events_per_sec"`
 
+	// Phase split of one cold run at the benchmark scale: wall time of
+	// build + preconditioning vs wall time of the measured replay. The
+	// precondition share is what the warm-state snapshot cache
+	// eliminates on every run after a sweep's first.
+	PrecondNs int64 `json:"precond_ns"`
+	ReplayNs  int64 `json:"replay_ns"`
+
+	// Sweep times a multi-point seed sweep cold (cache bypassed) and
+	// warm (served by the snapshot cache), in the precondition-heavy
+	// regime where sweeps actually run.
+	Sweep SweepBench `json:"sweep"`
+
 	GoVersion string `json:"go_version"`
 	GoArch    string `json:"go_arch"`
+}
+
+// SweepBench records one cold-vs-warm sweep comparison. All fields are
+// scalars so SubstrateBench stays comparable (the JSON round-trip test
+// relies on that).
+type SweepBench struct {
+	Name        string  `json:"name"`
+	Points      int     `json:"points"`
+	ColdNs      int64   `json:"cold_ns"`      // wall time, cache bypassed
+	WarmNs      int64   `json:"warm_ns"`      // wall time, snapshot cache enabled
+	Reduction   float64 `json:"reduction"`    // 1 - warm/cold
+	CacheHits   uint64  `json:"cache_hits"`   // hits during the warm sweep
+	CacheMisses uint64  `json:"cache_misses"` // misses during the warm sweep
 }
 
 // simulatedEvents tallies the discrete operations the substrate
@@ -55,9 +85,15 @@ func simulatedEvents(r *Result) uint64 {
 // MeasureSubstrate times Run(w, s, policy, p) under the testing
 // package's benchmark driver and returns the substrate report. One
 // calibration run validates the configuration and counts events before
-// timing starts.
+// timing starts. The headline per-run numbers are measured with
+// ColdStart forced — a full build + precondition + replay every
+// iteration — so they stay comparable across PRs regardless of the
+// snapshot cache; what the cache buys is recorded separately in the
+// phase split and the Sweep section. Note: the sweep comparison resets
+// the process-wide warm-state cache.
 func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*SubstrateBench, error) {
 	p = p.withDefaults()
+	p.ColdStart = true
 	calib, err := Run(w, s, policy, p)
 	if err != nil {
 		return nil, err
@@ -92,7 +128,98 @@ func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*Substrate
 	if br.T > 0 {
 		sb.EventsPerSec = float64(sb.EventsPerOp) * float64(br.N) / br.T.Seconds()
 	}
+	if sb.PrecondNs, sb.ReplayNs, err = measureSplit(w, s, policy, p); err != nil {
+		return nil, err
+	}
+	if sb.Sweep, err = measureSweep(w, s, policy, p); err != nil {
+		return nil, err
+	}
 	return sb, nil
+}
+
+// measureSplit times the phases of one cold run at the benchmark
+// scale: device build + preconditioning fill vs measured replay.
+func measureSplit(w Workload, s Scheme, policy string, p Params) (precondNs, replayNs int64, err error) {
+	cfg, spec, err := buildRun(w, s.Options(), policy, p)
+	if err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	r, err := sim.NewRunner(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	pre, err := trace.NewPreconditioner(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	offset, err := r.Precondition(pre)
+	if err != nil {
+		return 0, 0, err
+	}
+	t1 := time.Now()
+	gen, err := trace.NewGenerator(spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := r.Replay(gen, offset, spec.Name); err != nil {
+		return 0, 0, err
+	}
+	t2 := time.Now()
+	return t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds(), nil
+}
+
+// The sweep comparison runs in the regime sweeps actually occupy: many
+// short measured runs against one large preconditioned device, where
+// the fill dominates each cold point. Shape fixed so the recorded
+// trajectory is comparable across machines and PRs.
+const (
+	sweepSeeds       = 8
+	sweepDeviceBytes = 64 << 20
+	sweepRequests    = 1000
+)
+
+// measureSweep times an identical multi-point seed sweep twice: cold
+// (snapshot cache bypassed) and warm (cache enabled, reset first so the
+// first point pays the one build). It resets the process-wide cache.
+func measureSweep(w Workload, s Scheme, policy string, p Params) (SweepBench, error) {
+	seeds := make([]int64, sweepSeeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	q := p
+	q.DeviceBytes = sweepDeviceBytes
+	q.Requests = sweepRequests
+	run := func(cold bool) (time.Duration, error) {
+		q := q
+		q.ColdStart = cold
+		start := time.Now()
+		if _, err := RunSeeds(w, s, policy, q, seeds); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	coldD, err := run(true)
+	if err != nil {
+		return SweepBench{}, err
+	}
+	ResetWarmCache()
+	warmD, err := run(false)
+	if err != nil {
+		return SweepBench{}, err
+	}
+	st := WarmCacheStats()
+	ResetWarmCache()
+	return SweepBench{
+		Name: fmt.Sprintf("%s × %s × %s, %d seeds, %d MiB device, %d reqs/run",
+			w, s, policy, sweepSeeds, sweepDeviceBytes>>20, sweepRequests),
+		Points:      sweepSeeds,
+		ColdNs:      coldD.Nanoseconds(),
+		WarmNs:      warmD.Nanoseconds(),
+		Reduction:   reduction(float64(coldD), float64(warmD)),
+		CacheHits:   st.Hits,
+		CacheMisses: st.Misses,
+	}, nil
 }
 
 // WriteBenchJSON emits the report as indented JSON.

@@ -38,11 +38,7 @@ func LogicalPagesFor(p Params) (uint64, error) {
 		Options:     ftl.BaselineOptions(),
 		Utilization: p.Utilization,
 	}
-	r, err := sim.NewRunner(cfg)
-	if err != nil {
-		return 0, err
-	}
-	return r.LogicalPages(), nil
+	return sim.LogicalPagesOf(cfg), nil
 }
 
 // WorkloadSpec returns the Table-II-calibrated spec for w sized to the
@@ -152,7 +148,9 @@ func ScaleTrace(src TraceSource, factor float64) TraceSource {
 }
 
 // ReplayTrace replays an arbitrary request stream through scheme s
-// after standard preconditioning.
+// after standard preconditioning. The warm device state is served from
+// the snapshot cache when available (see warmcache.go); set
+// Params.ColdStart to precondition from scratch instead.
 func ReplayTrace(src TraceSource, w Workload, s Scheme, policy string, p Params) (*Result, error) {
 	p = p.withDefaults()
 	pol, err := ftl.PolicyByName(policy, p.Seed)
@@ -166,21 +164,34 @@ func ReplayTrace(src TraceSource, w Workload, s Scheme, policy string, p Params)
 		Options:     opts,
 		Utilization: p.Utilization,
 	}
-	runner, err := sim.NewRunner(cfg)
+	spec, err := trace.Preset(w, sim.LogicalPagesOf(cfg), p.Requests, p.Seed)
 	if err != nil {
 		return nil, err
 	}
-	spec, err := trace.Preset(w, runner.LogicalPages(), p.Requests, p.Seed)
+	if p.ColdStart {
+		runner, err := sim.NewRunner(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pre, err := trace.NewPreconditioner(spec)
+		if err != nil {
+			return nil, err
+		}
+		offset, err := runner.Precondition(pre)
+		if err != nil {
+			return nil, err
+		}
+		return runner.Replay(src, offset, string(w))
+	}
+	snap, err := warmCache.get(warmKey(cfg, spec, p.Seed), func() (*sim.Snapshot, error) {
+		return sim.NewSnapshot(cfg, spec)
+	})
 	if err != nil {
 		return nil, err
 	}
-	pre, err := trace.NewPreconditioner(spec)
+	runner, err := snap.NewRunner(cfg)
 	if err != nil {
 		return nil, err
 	}
-	offset, err := runner.Precondition(pre)
-	if err != nil {
-		return nil, err
-	}
-	return runner.Replay(src, offset, string(w))
+	return runner.Replay(src, snap.Offset(), string(w))
 }

@@ -1,0 +1,133 @@
+package cagc
+
+// Warm-state snapshot cache. Every point of a sweep used to rebuild and
+// re-precondition an identical SSD; the cache builds each distinct warm
+// state once (sim.NewSnapshot) and serves every later run a deep clone
+// (sim.RunWarm). Results are bit-identical to cold runs — the clone
+// layer reproduces device, FTL, index, buffer, and timeline state
+// exactly — so figures never change, only wall-clock does.
+//
+// The key covers exactly what the preconditioned state depends on:
+// device configuration, FTL options, utilization, buffer size, and the
+// precondition-relevant workload parameters (logical pages, dedup
+// mixture, precondition seed). The measured-trace parameters — Seed,
+// Requests, arrival process — and QueueDepth (replay-only) are
+// excluded, which is what lets seed sweeps and queue-depth curves share
+// one snapshot. A stateful victim policy (ftl.ClonablePolicy) folds its
+// construction seed into the key, because its PRNG position is part of
+// the warm state.
+//
+// Concurrency: distinct keys build in parallel (each entry has its own
+// once), so the cache composes with forEach fan-out instead of
+// serializing it; concurrent requests for the same key share one build.
+//
+// Snapshots are retained for the life of the process. At figure scales
+// a snapshot is a few MiB; for very large DeviceBytes prefer
+// Params.ColdStart (or the CLIs' -coldstart flag), which bypasses the
+// cache entirely.
+
+import (
+	"fmt"
+	"sync"
+
+	"cagc/internal/ftl"
+	"cagc/internal/sim"
+	"cagc/internal/trace"
+)
+
+// CacheStats reports warm-state snapshot cache activity.
+type CacheStats struct {
+	Hits      uint64 // runs served by cloning a cached snapshot
+	Misses    uint64 // runs that built (and cached) a new snapshot
+	Snapshots int    // distinct warm states currently cached
+}
+
+type warmEntry struct {
+	once sync.Once
+	snap *sim.Snapshot
+	err  error
+}
+
+type warmCacheT struct {
+	mu      sync.Mutex
+	entries map[string]*warmEntry
+	hits    uint64
+	misses  uint64
+}
+
+var warmCache = warmCacheT{entries: map[string]*warmEntry{}}
+
+// get returns the snapshot for key, building it at most once per key
+// process-wide. Build errors are cached too: a configuration that
+// cannot precondition fails identically on every run, warm or cold.
+func (c *warmCacheT) get(key string, build func() (*sim.Snapshot, error)) (*sim.Snapshot, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &warmEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.snap, e.err = build() })
+	return e.snap, e.err
+}
+
+// WarmCacheStats returns the process-wide snapshot cache counters.
+func WarmCacheStats() CacheStats {
+	warmCache.mu.Lock()
+	defer warmCache.mu.Unlock()
+	return CacheStats{
+		Hits:      warmCache.hits,
+		Misses:    warmCache.misses,
+		Snapshots: len(warmCache.entries),
+	}
+}
+
+// ResetWarmCache drops every cached snapshot and zeroes the counters
+// (tests and cold-vs-warm benchmarks).
+func ResetWarmCache() {
+	warmCache.mu.Lock()
+	defer warmCache.mu.Unlock()
+	warmCache.entries = map[string]*warmEntry{}
+	warmCache.hits, warmCache.misses = 0, 0
+}
+
+// warmKey identifies one warm state; see the package comment above for
+// the keying rule.
+func warmKey(cfg sim.Config, spec trace.Spec, policySeed int64) string {
+	o := cfg.Options
+	pol := ""
+	if o.Policy != nil {
+		pol = o.Policy.Name()
+		if _, stateful := o.Policy.(ftl.ClonablePolicy); stateful {
+			pol = fmt.Sprintf("%s#%d", pol, policySeed)
+		}
+	}
+	o.Policy = nil
+	pseed := spec.Seed
+	if spec.PrecondSeed != 0 {
+		pseed = spec.PrecondSeed
+	}
+	return fmt.Sprintf("dev=%+v opts=%+v pol=%s util=%g buf=%d pre=%d/%g/%g/%d/%d",
+		cfg.Device, o, pol, cfg.Utilization, cfg.BufferPages,
+		spec.LogicalPages, spec.DedupRatio, spec.ContentSkew, spec.ContentPool, pseed)
+}
+
+// runCached is the Run back end: serve from the snapshot cache unless
+// the caller opted out (ColdStart) or the run skips preconditioning
+// (nothing worth caching).
+func runCached(cfg sim.Config, spec trace.Spec, p Params) (*Result, error) {
+	if p.ColdStart || cfg.SkipPrecondition {
+		return sim.Run(cfg, spec)
+	}
+	snap, err := warmCache.get(warmKey(cfg, spec, p.Seed), func() (*sim.Snapshot, error) {
+		return sim.NewSnapshot(cfg, spec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunWarm(snap, cfg, spec)
+}

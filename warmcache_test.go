@@ -1,0 +1,164 @@
+package cagc
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func equivParams() Params {
+	return Params{DeviceBytes: 16 << 20, Requests: 4000, Seed: 3}
+}
+
+// The acceptance bar of the snapshot cache: for every scheme × policy
+// cell, a cached (cloned) run is bit-identical to a cold run — same
+// Result down to unexported histogram buckets, and byte-identical
+// summary JSON.
+func TestWarmRunsMatchColdRunsAllSchemesAndPolicies(t *testing.T) {
+	for _, s := range Schemes {
+		for _, policy := range []string{"greedy", "random", "cost-benefit"} {
+			t.Run(fmt.Sprintf("%s-%s", s, policy), func(t *testing.T) {
+				p := equivParams()
+				cold := p
+				cold.ColdStart = true
+				want, err := Run(Mail, s, policy, cold)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// First warm run builds the snapshot (miss), second is a
+				// pure cache hit; both must match the cold run exactly.
+				for i := 0; i < 2; i++ {
+					got, err := Run(Mail, s, policy, p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("warm run %d diverged from cold run:\ncold %v\nwarm %v", i, want, got)
+					}
+					var cb, wb bytes.Buffer
+					if err := WriteJSON(&cb, want); err != nil {
+						t.Fatal(err)
+					}
+					if err := WriteJSON(&wb, got); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(cb.Bytes(), wb.Bytes()) {
+						t.Fatalf("warm run %d summary JSON differs from cold run", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// A measured-seed sweep and a queue-depth sweep must share one warm
+// state: only the first run of each (workload, scheme, policy) cell
+// misses.
+func TestCacheSharingAcrossSeedsAndQueueDepths(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	p := equivParams()
+	p.Requests = 1500
+	for _, seed := range []int64{11, 12, 13} {
+		q := p
+		q.Seed = seed
+		if _, err := Run(Homes, Baseline, "greedy", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, qd := range []int{2, 8} {
+		q := p
+		q.Seed = 11
+		q.QueueDepth = qd
+		if _, err := Run(Homes, Baseline, "greedy", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := WarmCacheStats()
+	if st.Misses != 1 || st.Hits != 4 || st.Snapshots != 1 {
+		t.Fatalf("seed+QD sweep should share one snapshot: %+v", st)
+	}
+
+	// The random policy's PRNG position is part of the warm state, so
+	// distinct seeds must NOT share a snapshot.
+	ResetWarmCache()
+	for _, seed := range []int64{11, 12} {
+		q := p
+		q.Seed = seed
+		if _, err := Run(Homes, Baseline, "random", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := WarmCacheStats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("random-policy seeds must not share a snapshot: %+v", st)
+	}
+}
+
+// ColdStart must bypass the cache entirely — no hits, no misses, no
+// retained snapshots.
+func TestColdStartBypassesCache(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	p := equivParams()
+	p.Requests = 1000
+	p.ColdStart = true
+	if _, err := Run(Homes, Baseline, "greedy", p); err != nil {
+		t.Fatal(err)
+	}
+	if st := WarmCacheStats(); st != (CacheStats{}) {
+		t.Fatalf("cold start touched the cache: %+v", st)
+	}
+}
+
+// The cache must compose with forEach fan-out: concurrent workers
+// hitting the same key share one build, workers on distinct keys build
+// independently, and every result stays bit-identical to its cold run.
+func TestCacheUnderParallelFanOut(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	p := equivParams()
+	p.Requests = 1500
+	type cell struct {
+		s    Scheme
+		seed int64
+	}
+	var cells []cell
+	for _, s := range Schemes {
+		for seed := int64(1); seed <= 4; seed++ {
+			cells = append(cells, cell{s, seed})
+		}
+	}
+	results := make([]*Result, len(cells))
+	if err := forEach(len(cells), func(i int) error {
+		q := p
+		q.Seed = cells[i].seed
+		res, err := Run(Mail, cells[i].s, "greedy", q)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := WarmCacheStats()
+	if st.Snapshots != len(Schemes) {
+		t.Fatalf("expected one snapshot per scheme, got %+v", st)
+	}
+	if st.Hits+st.Misses != uint64(len(cells)) {
+		t.Fatalf("every run must consult the cache: %+v", st)
+	}
+	for i, c := range cells {
+		q := p
+		q.Seed = c.seed
+		q.ColdStart = true
+		want, err := Run(Mail, c.s, "greedy", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, results[i]) {
+			t.Fatalf("parallel warm run %v diverged from cold run", c)
+		}
+	}
+}
