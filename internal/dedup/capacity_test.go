@@ -153,13 +153,14 @@ func TestCapacityInvariantProperty(t *testing.T) {
 					refs[fp]--
 				}
 			}
-			// Count indexed entries by probing the whole universe.
+			// Count indexed entries by probing the whole universe
+			// (direct table probes: no stats or recency side effects).
 			indexed := 0
 			for i := uint64(0); i < 12; i++ {
 				f := OfUint64(i)
-				if c, ok := x.byFP[f]; ok {
+				if s, ok := x.byFP.Get(uint64(f)); ok {
 					indexed++
-					if idx, err := x.Indexed(c); err != nil || !idx {
+					if idx, err := x.Indexed(*x.byFP.At(s)); err != nil || !idx {
 						return false
 					}
 				}

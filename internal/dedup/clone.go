@@ -1,34 +1,21 @@
 package dedup
 
-import (
-	"container/list"
-	"slices"
-)
+import "slices"
 
 // Clone returns a deep, independent copy of the index: entries,
-// fingerprint map, free-CID stack, counters, and the capacity bound's
-// recency list. The LRU order is reproduced element for element, so a
-// clone evicts the same fingerprints at the same moments a cold index
-// in this state would.
+// fingerprint table, free-CID stack, and counters. Because the
+// fingerprint table is open-addressed with its recency list stored as
+// slot indices inside the slots, the copy is a handful of flat copy()
+// calls — no per-element rebuild — and the clone evicts the same
+// fingerprints at the same moments a cold index in this state would.
 func (x *Index) Clone() *Index {
-	c := &Index{
-		byFP:     make(map[Fingerprint]CID, len(x.byFP)),
+	return &Index{
+		byFP:     x.byFP.Clone(),
 		entries:  slices.Clone(x.entries),
 		freeIDs:  slices.Clone(x.freeIDs),
 		live:     x.live,
 		stats:    x.stats,
 		capacity: x.capacity,
+		lruOn:    x.lruOn,
 	}
-	for fp, cid := range x.byFP {
-		c.byFP[fp] = cid
-	}
-	if x.lru != nil {
-		c.lru = list.New()
-		c.lruPos = make(map[CID]*list.Element, len(x.lruPos))
-		for el := x.lru.Front(); el != nil; el = el.Next() {
-			cid := el.Value.(CID)
-			c.lruPos[cid] = c.lru.PushBack(cid)
-		}
-	}
-	return c
 }

@@ -1,11 +1,11 @@
 package dedup
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 
 	"cagc/internal/flash"
+	"cagc/internal/flathash"
 )
 
 // CID identifies one unit of unique stored content (CAFTL's "virtual
@@ -41,25 +41,35 @@ type Stats struct {
 }
 
 // Index is the fingerprint index plus reference counts. It is the RAM
-// metadata a dedup FTL keeps; all operations are O(1) map work and cost
-// no simulated device time (the *hash computation* producing the
-// fingerprint is what costs time, and is modelled on the hash engine).
+// metadata a dedup FTL keeps; all operations are O(1) hash-table work
+// and cost no simulated device time (the *hash computation* producing
+// the fingerprint is what costs time, and is modelled on the hash
+// engine).
+//
+// The fingerprint table is an open-addressed flathash.Map rather than a
+// Go map: every write under Inline-Dedupe and every GC migration under
+// CAGC probes it, so it must not allocate in steady state, and the
+// capacity bound's recency list is threaded intrusively through its
+// slots (see internal/flathash) instead of a container/list plus a
+// position map.
 type Index struct {
-	byFP    map[Fingerprint]CID
+	byFP    *flathash.Map[CID]
 	entries []entry
 	freeIDs []CID
 	live    int
 	stats   Stats
 
-	// Optional fingerprint-cache bound (see SetCapacity).
+	// Optional fingerprint-cache bound (see SetCapacity). lruOn records
+	// whether the recency list has ever been activated; it stays on
+	// even if the capacity is later lifted, mirroring the lazily built
+	// list of the original map-based implementation.
 	capacity int
-	lru      *list.List
-	lruPos   map[CID]*list.Element
+	lruOn    bool
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{byFP: make(map[Fingerprint]CID)}
+	return &Index{byFP: flathash.New[CID](0)}
 }
 
 // Live returns the number of unique contents currently stored.
@@ -79,19 +89,21 @@ func (x *Index) check(c CID) error {
 // so, under which CID.
 func (x *Index) Lookup(fp Fingerprint) (CID, bool) {
 	x.stats.Lookups++
-	c, ok := x.byFP[fp]
-	if ok {
-		x.stats.Hits++
-		x.touch(c)
+	s, ok := x.byFP.Get(uint64(fp))
+	if !ok {
+		return 0, false
 	}
-	return c, ok
+	x.stats.Hits++
+	c := *x.byFP.At(s)
+	x.touchSlot(s)
+	return c, true
 }
 
 // Insert stores new unique content located at ppn with refcount 1 and
 // returns its CID. Inserting a fingerprint that is already present is a
 // caller bug (callers must Lookup first) and returns an error.
 func (x *Index) Insert(fp Fingerprint, ppn flash.PPN) (CID, error) {
-	if _, dup := x.byFP[fp]; dup {
+	if _, dup := x.byFP.Get(uint64(fp)); dup {
 		return NilCID, fmt.Errorf("dedup: insert of already-present fingerprint %#x", uint64(fp))
 	}
 	var c CID
@@ -103,13 +115,13 @@ func (x *Index) Insert(fp Fingerprint, ppn flash.PPN) (CID, error) {
 		x.entries = append(x.entries, entry{})
 	}
 	x.entries[c] = entry{fp: fp, ppn: ppn, ref: 1, peak: 1}
-	x.byFP[fp] = c
+	s := x.byFP.Put(uint64(fp), c)
 	x.live++
 	x.stats.Inserts++
 	if x.live > x.stats.PeakCount {
 		x.stats.PeakCount = x.live
 	}
-	x.trackIndexed(c)
+	x.trackIndexed(s)
 	return c, nil
 }
 
@@ -139,8 +151,9 @@ func (x *Index) DecRef(c CID) (ref int, peak int, err error) {
 	e.ref--
 	if e.ref == 0 {
 		if !e.unindexed {
-			delete(x.byFP, e.fp)
-			x.untrack(c)
+			// Delete unlinks the slot from the recency list too — the
+			// untrack of the map-based implementation.
+			x.byFP.Delete(uint64(e.fp))
 		}
 		x.freeIDs = append(x.freeIDs, c)
 		x.live--

@@ -58,12 +58,12 @@ func (x *Index) Publish(c CID) error {
 	if !e.unindexed {
 		return fmt.Errorf("dedup: Publish of already-indexed CID %d", c)
 	}
-	if _, dup := x.byFP[e.fp]; dup {
+	if _, dup := x.byFP.Get(uint64(e.fp)); dup {
 		return fmt.Errorf("dedup: Publish of duplicate fingerprint %#x (merge instead)", uint64(e.fp))
 	}
 	e.unindexed = false
-	x.byFP[e.fp] = c
-	x.trackIndexed(c)
+	s := x.byFP.Put(uint64(e.fp), c)
+	x.trackIndexed(s)
 	return nil
 }
 

@@ -1,7 +1,6 @@
 package ftl
 
 import (
-	"container/list"
 	"slices"
 
 	"cagc/internal/flash"
@@ -27,7 +26,7 @@ func (f *FTL) Clone(dev *flash.Device) *FTL {
 		idx:          f.idx.Clone(),
 		mapping:      slices.Clone(f.mapping),
 		owners:       slices.Clone(f.owners),
-		lpnsOf:       make([][]uint64, len(f.lpnsOf)),
+		rev:          f.rev.clone(),
 		blocks:       slices.Clone(f.blocks),
 		freeByDie:    make([][]flash.BlockID, len(f.freeByDie)),
 		freeCount:    f.freeCount,
@@ -43,9 +42,6 @@ func (f *FTL) Clone(dev *flash.Device) *FTL {
 		RefDist:      f.RefDist,
 		logicalPages: f.logicalPages,
 	}
-	for i, l := range f.lpnsOf {
-		c.lpnsOf[i] = slices.Clone(l)
-	}
 	for i, l := range f.freeByDie {
 		c.freeByDie[i] = slices.Clone(l)
 	}
@@ -58,26 +54,12 @@ func (f *FTL) Clone(dev *flash.Device) *FTL {
 	return c
 }
 
-// clone duplicates the cached mapping table, reproducing the LRU order
-// element for element so the copy evicts the same translation pages the
-// original would.
+// clone duplicates the cached mapping table. The recency order and
+// dirty flags live inside the flat page table, so the copy is a single
+// slot-array copy that evicts the same translation pages the original
+// would.
 func (c *cmt) clone() *cmt {
-	n := &cmt{
-		capPages:  c.capPages,
-		lru:       list.New(),
-		pos:       make(map[uint64]*list.Element, len(c.pos)),
-		dirty:     make(map[uint64]bool, len(c.dirty)),
-		hits:      c.hits,
-		misses:    c.misses,
-		evictions: c.evictions,
-		writeback: c.writeback,
-	}
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		page := el.Value.(uint64)
-		n.pos[page] = n.lru.PushBack(page)
-	}
-	for p, d := range c.dirty {
-		n.dirty[p] = d
-	}
-	return n
+	n := *c
+	n.pages = c.pages.Clone()
+	return &n
 }

@@ -57,10 +57,10 @@ type FTL struct {
 	idx     *dedup.Index
 	mapping []dedup.CID // LPN -> CID (NilCID = unmapped)
 	owners  []dedup.CID // PPN -> owning CID (NilCID = none)
-	// lpnsOf is the lazy reverse map for GC-time merges, indexed by CID
-	// (CIDs are dense and recycled by the index). Cleared entries keep
-	// their backing arrays so steady-state binds allocate nothing.
-	lpnsOf [][]uint64
+	// rev is the lazy reverse map for GC-time merges (see revMap):
+	// arena-backed chains whose cleared nodes are recycled, so
+	// steady-state binds allocate nothing.
+	rev revMap
 
 	blocks    []blockMeta
 	freeByDie [][]flash.BlockID
@@ -126,6 +126,7 @@ func New(dev *flash.Device, logicalPages uint64, opts Options) (*FTL, error) {
 		dev:          dev,
 		opts:         o,
 		idx:          dedup.NewIndex(),
+		rev:          newRevMap(),
 		mapping:      make([]dedup.CID, logicalPages),
 		owners:       make([]dedup.CID, g.TotalPages()),
 		blocks:       make([]blockMeta, g.TotalBlocks()),
@@ -189,28 +190,10 @@ func (f *FTL) checkLPN(lpn uint64) error {
 	return nil
 }
 
-// lpnList returns the reverse-map slot for c, growing the table when a
-// fresh CID exceeds it.
-func (f *FTL) lpnList(c dedup.CID) *[]uint64 {
-	for int(c) >= len(f.lpnsOf) {
-		f.lpnsOf = append(f.lpnsOf, nil)
-	}
-	return &f.lpnsOf[c]
-}
-
-// clearLPNs empties c's reverse-map slot, keeping the backing array for
-// the CID's next tenant (the index recycles CIDs).
-func (f *FTL) clearLPNs(c dedup.CID) {
-	if int(c) < len(f.lpnsOf) {
-		f.lpnsOf[c] = f.lpnsOf[c][:0]
-	}
-}
-
 // bind points lpn at cid, maintaining the lazy reverse map.
 func (f *FTL) bind(lpn uint64, c dedup.CID) {
 	f.mapping[lpn] = c
-	l := f.lpnList(c)
-	*l = append(*l, lpn)
+	f.rev.add(c, lpn)
 }
 
 // Write services one page-sized user write of content fp to lpn at
@@ -316,7 +299,7 @@ func (f *FTL) unbindOld(old dedup.CID) error {
 		return fmt.Errorf("ftl: invalidating dead content: %w", err)
 	}
 	f.owners[ppn] = dedup.NilCID
-	f.clearLPNs(old)
+	f.rev.clear(old)
 	f.RefDist.Add(peak)
 	return nil
 }

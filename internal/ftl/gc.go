@@ -448,14 +448,16 @@ func (f *FTL) promote(now, after event.Time, c dedup.CID) (event.Time, bool, err
 
 // remapAll repoints every LPN referencing from at to. The reverse map
 // is maintained lazily (append-only with stale entries), so each entry
-// is verified against the forward mapping before remapping.
+// is verified against the forward mapping before remapping. Walking
+// from's chain while appending to to's is safe: from's nodes are not on
+// the freelist during the walk, so add can never reuse them.
 func (f *FTL) remapAll(from, to dedup.CID) {
-	toList := f.lpnList(to) // may grow the table; take it first
-	for _, lpn := range f.lpnsOf[from] {
+	for n := f.rev.head(from); n != nilNode; n = f.rev.nodes[n].next {
+		lpn := f.rev.nodes[n].lpn
 		if f.mapping[lpn] == from {
 			f.mapping[lpn] = to
-			*toList = append(*toList, lpn)
+			f.rev.add(to, lpn)
 		}
 	}
-	f.clearLPNs(from)
+	f.rev.clear(from)
 }

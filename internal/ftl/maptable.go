@@ -1,10 +1,9 @@
 package ftl
 
 import (
-	"container/list"
-
 	"cagc/internal/event"
 	"cagc/internal/flash"
+	"cagc/internal/flathash"
 )
 
 // DFTL-style cached mapping. The paper (like most dedup-FTL studies)
@@ -25,11 +24,14 @@ import (
 const mapEntriesPerPage = 512
 
 // cmt is the cached mapping table: an LRU over translation-page ids.
+// It is one open-addressed table (page id → dirty flag) with the
+// recency list threaded through the table's slots — the position map,
+// dirty map, and container/list of the original implementation folded
+// into a single flat structure that allocates nothing in steady state
+// and clones with a flat copy.
 type cmt struct {
-	capPages int // capacity in translation pages
-	lru      *list.List
-	pos      map[uint64]*list.Element
-	dirty    map[uint64]bool
+	capPages int                 // capacity in translation pages
+	pages    *flathash.Map[bool] // page id → dirty, LRU-threaded
 
 	hits      uint64
 	misses    uint64
@@ -42,11 +44,11 @@ func newCMT(capEntries int) *cmt {
 	if capPages < 1 {
 		capPages = 1
 	}
+	// +1: the table momentarily holds capPages+1 entries between a miss
+	// insert and the eviction that rebalances it.
 	return &cmt{
 		capPages: capPages,
-		lru:      list.New(),
-		pos:      make(map[uint64]*list.Element, capPages),
-		dirty:    make(map[uint64]bool, capPages),
+		pages:    flathash.New[bool](capPages + 1),
 	}
 }
 
@@ -55,27 +57,24 @@ func newCMT(capEntries int) *cmt {
 // written back. write marks the page dirty.
 func (c *cmt) access(lpn uint64, write bool) (hit bool, evictDirty bool, evicted uint64) {
 	page := lpn / mapEntriesPerPage
-	if el, ok := c.pos[page]; ok {
-		c.lru.MoveToFront(el)
+	if s, ok := c.pages.Get(page); ok {
+		c.pages.MoveToFront(s)
 		c.hits++
 		if write {
-			c.dirty[page] = true
+			*c.pages.At(s) = true
 		}
 		return true, false, 0
 	}
 	c.misses++
-	c.pos[page] = c.lru.PushFront(page)
-	if write {
-		c.dirty[page] = true
-	}
-	if c.lru.Len() > c.capPages {
-		el := c.lru.Back()
-		victim := el.Value.(uint64)
-		c.lru.Remove(el)
-		delete(c.pos, victim)
+	s := c.pages.Put(page, write)
+	c.pages.PushFront(s)
+	if c.pages.ListLen() > c.capPages {
+		b := c.pages.Back()
+		victim := c.pages.Key(b)
+		dirty := *c.pages.At(b)
+		c.pages.Delete(victim)
 		c.evictions++
-		if c.dirty[victim] {
-			delete(c.dirty, victim)
+		if dirty {
 			c.writeback++
 			return false, true, victim
 		}

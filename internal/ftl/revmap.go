@@ -1,0 +1,92 @@
+package ftl
+
+import (
+	"slices"
+
+	"cagc/internal/dedup"
+)
+
+// revMap is the lazy CID→LPN reverse map used by GC-time merges. It is
+// maintained append-only with stale entries (bind adds, remapAll
+// filters against the forward mapping), exactly like the [][]uint64 it
+// replaced — but all chains live in one node arena as singly-linked
+// lists of slice indices, with a freelist threading through cleared
+// chains. That makes the steady-state bind path allocation-free (the
+// arena grows to the workload's peak chain volume once, then recycles),
+// and makes Clone three flat copies instead of one slice allocation per
+// live CID.
+type revMap struct {
+	heads []int32 // CID -> first node, nilNode = empty chain
+	tails []int32 // CID -> last node, for O(1) append in bind order
+	nodes []revNode
+	free  int32 // freelist head, nilNode = empty
+}
+
+type revNode struct {
+	lpn  uint64
+	next int32
+}
+
+const nilNode = int32(-1)
+
+func newRevMap() revMap { return revMap{free: nilNode} }
+
+// ensure grows the per-CID tables to cover c (CIDs are dense and
+// recycled by the dedup index).
+func (m *revMap) ensure(c dedup.CID) {
+	for int(c) >= len(m.heads) {
+		m.heads = append(m.heads, nilNode)
+		m.tails = append(m.tails, nilNode)
+	}
+}
+
+// head returns c's first node, or nilNode.
+func (m *revMap) head(c dedup.CID) int32 {
+	if int(c) >= len(m.heads) {
+		return nilNode
+	}
+	return m.heads[c]
+}
+
+// add appends lpn to c's chain, reusing a freelist node when one
+// exists.
+func (m *revMap) add(c dedup.CID, lpn uint64) {
+	m.ensure(c)
+	n := m.free
+	if n != nilNode {
+		m.free = m.nodes[n].next
+		m.nodes[n] = revNode{lpn: lpn, next: nilNode}
+	} else {
+		n = int32(len(m.nodes))
+		m.nodes = append(m.nodes, revNode{lpn: lpn, next: nilNode})
+	}
+	if t := m.tails[c]; t == nilNode {
+		m.heads[c] = n
+	} else {
+		m.nodes[t].next = n
+	}
+	m.tails[c] = n
+}
+
+// clear empties c's chain by splicing it whole onto the freelist, so
+// the nodes serve the CID's next tenant without reallocation.
+func (m *revMap) clear(c dedup.CID) {
+	if int(c) >= len(m.heads) || m.heads[c] == nilNode {
+		return
+	}
+	m.nodes[m.tails[c]].next = m.free
+	m.free = m.heads[c]
+	m.heads[c] = nilNode
+	m.tails[c] = nilNode
+}
+
+// clone returns an independent deep copy — flat copies only, no
+// per-chain work.
+func (m *revMap) clone() revMap {
+	return revMap{
+		heads: slices.Clone(m.heads),
+		tails: slices.Clone(m.tails),
+		nodes: slices.Clone(m.nodes),
+		free:  m.free,
+	}
+}

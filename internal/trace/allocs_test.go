@@ -1,0 +1,46 @@
+package trace
+
+import "testing"
+
+// The generator's fingerprint arena amortizes the per-write FPs slice
+// to one block allocation per fpArenaChunk fingerprints, so the mean
+// allocation rate of Next must sit far below one object per request.
+// (Exactly zero is impossible — the arena does allocate a fresh block
+// when one fills — hence the small budget instead of 0.)
+func TestGeneratorAmortizedAllocs(t *testing.T) {
+	spec, err := Preset(Mail, 1<<16, 1<<30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20000, func() {
+		if _, ok := g.Next(); !ok {
+			t.Fatal("generator ran dry")
+		}
+	})
+	if allocs > 0.05 {
+		t.Fatalf("Next allocated %.3f objects/op on average, want < 0.05", allocs)
+	}
+}
+
+func TestPreconditionerAmortizedAllocs(t *testing.T) {
+	spec, err := Preset(Mail, 1<<18, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPreconditioner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20000, func() {
+		if _, ok := p.Next(); !ok {
+			t.Fatal("preconditioner ran dry")
+		}
+	})
+	if allocs > 0.05 {
+		t.Fatalf("Next allocated %.3f objects/op on average, want < 0.05", allocs)
+	}
+}

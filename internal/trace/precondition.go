@@ -45,6 +45,7 @@ type Preconditioner struct {
 	spec   Spec
 	rng    *rand.Rand
 	zipf   *rand.Zipf
+	fps    fpArena
 	order  []int
 	chunk  uint64
 	pos    int
@@ -66,7 +67,7 @@ func (p *Preconditioner) Next() (Request, bool) {
 		Op:    OpWrite,
 		LPN:   start,
 		Pages: int(n),
-		FPs:   make([]dedup.Fingerprint, n),
+		FPs:   p.fps.alloc(int(n)),
 	}
 	for i := range r.FPs {
 		if p.rng.Float64() < p.spec.DedupRatio {

@@ -24,9 +24,12 @@ import (
 // SubstrateBench is the machine-readable record of one substrate
 // benchmark: the BenchmarkSubstrateSingleRun workload (a full
 // precondition + replay of one scheme on one trace) timed with the
-// testing package's benchmark driver.
+// testing package's benchmark driver. The top-level per-op numbers are
+// the headline workload's; Workloads carries one row per Table-II
+// workload so a perf PR that helps the headline but regresses another
+// trace shows up in the tracked trajectory.
 type SubstrateBench struct {
-	Workload    string `json:"workload"`
+	Workload    string `json:"workload"` // headline workload
 	Scheme      string `json:"scheme"`
 	Policy      string `json:"policy"`
 	Requests    int    `json:"requests"`
@@ -51,6 +54,11 @@ type SubstrateBench struct {
 	PrecondNs int64 `json:"precond_ns"`
 	ReplayNs  int64 `json:"replay_ns"`
 
+	// Workloads holds one measured row per Table-II workload (same
+	// scheme, policy, and parameters; the headline workload's row
+	// repeats the top-level numbers).
+	Workloads []WorkloadBench `json:"workloads"`
+
 	// Sweep times a multi-point seed sweep cold (cache bypassed) and
 	// warm (served by the snapshot cache), in the precondition-heavy
 	// regime where sweeps actually run.
@@ -58,6 +66,19 @@ type SubstrateBench struct {
 
 	GoVersion string `json:"go_version"`
 	GoArch    string `json:"go_arch"`
+}
+
+// WorkloadBench is one per-workload row of the substrate report.
+type WorkloadBench struct {
+	Workload     string  `json:"workload"`
+	Runs         int     `json:"runs"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerOp  uint64  `json:"events_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	PrecondNs    int64   `json:"precond_ns"`
+	ReplayNs     int64   `json:"replay_ns"`
 }
 
 // SweepBench records one cold-vs-warm sweep comparison. All fields are
@@ -83,20 +104,59 @@ func simulatedEvents(r *Result) uint64 {
 }
 
 // MeasureSubstrate times Run(w, s, policy, p) under the testing
-// package's benchmark driver and returns the substrate report. One
-// calibration run validates the configuration and counts events before
-// timing starts. The headline per-run numbers are measured with
-// ColdStart forced — a full build + precondition + replay every
-// iteration — so they stay comparable across PRs regardless of the
-// snapshot cache; what the cache buys is recorded separately in the
-// phase split and the Sweep section. Note: the sweep comparison resets
-// the process-wide warm-state cache.
+// package's benchmark driver and returns the substrate report: the
+// headline numbers for w, one row per Table-II workload, and the
+// cold-vs-warm sweep comparison for w. The per-run numbers are
+// measured with ColdStart forced — a full build + precondition +
+// replay every iteration — so they stay comparable across PRs
+// regardless of the snapshot cache; what the cache buys is recorded
+// separately in the phase split and the Sweep section. Note: the sweep
+// comparison resets the process-wide warm-state cache.
 func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*SubstrateBench, error) {
 	p = p.withDefaults()
 	p.ColdStart = true
-	calib, err := Run(w, s, policy, p)
+	head, err := measureWorkload(w, s, policy, p)
 	if err != nil {
 		return nil, err
+	}
+	sb := &SubstrateBench{
+		Workload:     string(w),
+		Scheme:       s.String(),
+		Policy:       policy,
+		Requests:     p.Requests,
+		DeviceBytes:  p.DeviceBytes,
+		Runs:         head.Runs,
+		NsPerOp:      head.NsPerOp,
+		AllocsPerOp:  head.AllocsPerOp,
+		BytesPerOp:   head.BytesPerOp,
+		EventsPerOp:  head.EventsPerOp,
+		EventsPerSec: head.EventsPerSec,
+		PrecondNs:    head.PrecondNs,
+		ReplayNs:     head.ReplayNs,
+		GoVersion:    runtime.Version(),
+		GoArch:       runtime.GOARCH,
+	}
+	for _, each := range Workloads {
+		row := head
+		if each != w {
+			if row, err = measureWorkload(each, s, policy, p); err != nil {
+				return nil, err
+			}
+		}
+		sb.Workloads = append(sb.Workloads, row)
+	}
+	if sb.Sweep, err = measureSweep(w, s, policy, p); err != nil {
+		return nil, err
+	}
+	return sb, nil
+}
+
+// measureWorkload produces one per-workload row: benchmark-driver
+// timing of the full cold run plus the phase split.
+func measureWorkload(w Workload, s Scheme, policy string, p Params) (WorkloadBench, error) {
+	calib, err := Run(w, s, policy, p)
+	if err != nil {
+		return WorkloadBench{}, err
 	}
 	var benchErr error
 	br := testing.Benchmark(func(b *testing.B) {
@@ -109,32 +169,23 @@ func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*Substrate
 		}
 	})
 	if benchErr != nil {
-		return nil, benchErr
+		return WorkloadBench{}, benchErr
 	}
-	sb := &SubstrateBench{
+	row := WorkloadBench{
 		Workload:    string(w),
-		Scheme:      s.String(),
-		Policy:      policy,
-		Requests:    p.Requests,
-		DeviceBytes: p.DeviceBytes,
 		Runs:        br.N,
 		NsPerOp:     br.NsPerOp(),
 		AllocsPerOp: br.AllocsPerOp(),
 		BytesPerOp:  br.AllocedBytesPerOp(),
 		EventsPerOp: simulatedEvents(calib),
-		GoVersion:   runtime.Version(),
-		GoArch:      runtime.GOARCH,
 	}
 	if br.T > 0 {
-		sb.EventsPerSec = float64(sb.EventsPerOp) * float64(br.N) / br.T.Seconds()
+		row.EventsPerSec = float64(row.EventsPerOp) * float64(br.N) / br.T.Seconds()
 	}
-	if sb.PrecondNs, sb.ReplayNs, err = measureSplit(w, s, policy, p); err != nil {
-		return nil, err
+	if row.PrecondNs, row.ReplayNs, err = measureSplit(w, s, policy, p); err != nil {
+		return WorkloadBench{}, err
 	}
-	if sb.Sweep, err = measureSweep(w, s, policy, p); err != nil {
-		return nil, err
-	}
-	return sb, nil
+	return row, nil
 }
 
 // measureSplit times the phases of one cold run at the benchmark

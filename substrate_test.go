@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -25,6 +26,21 @@ func TestMeasureSubstrateReport(t *testing.T) {
 	if sb.Workload != string(Mail) || sb.Scheme != CAGC.String() {
 		t.Fatalf("mislabelled report: %+v", sb)
 	}
+	if len(sb.Workloads) != len(Workloads) {
+		t.Fatalf("report has %d workload rows, want one per Table-II workload (%d)",
+			len(sb.Workloads), len(Workloads))
+	}
+	for i, row := range sb.Workloads {
+		if row.Workload != string(Workloads[i]) {
+			t.Fatalf("workload row %d is %q, want %q", i, row.Workload, Workloads[i])
+		}
+		if row.Runs <= 0 || row.NsPerOp <= 0 || row.EventsPerOp == 0 {
+			t.Fatalf("empty workload row: %+v", row)
+		}
+		if row.Workload == sb.Workload && row.NsPerOp != sb.NsPerOp {
+			t.Fatalf("headline row diverges from top-level numbers: %+v vs %+v", row, sb)
+		}
+	}
 
 	path := filepath.Join(t.TempDir(), "BENCH_substrate.json")
 	if err := WriteBenchFile(path, sb); err != nil {
@@ -38,7 +54,7 @@ func TestMeasureSubstrateReport(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != *sb {
+	if !reflect.DeepEqual(back, *sb) {
 		t.Fatalf("report did not round-trip:\n got %+v\nwant %+v", back, *sb)
 	}
 }
