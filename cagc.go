@@ -110,6 +110,12 @@ type Params struct {
 	// starts trade wall-clock for not retaining snapshots in memory
 	// (relevant at very large DeviceBytes).
 	ColdStart bool
+	// Trace, when non-nil, receives every instrumentation event of the
+	// run (see NewTraceRecorder / WriteChromeTrace). Tracing is purely
+	// observational: results are bit-identical with or without it. On a
+	// warm (cached) run the trace covers the measured replay; combine
+	// with ColdStart to also trace the preconditioning fill.
+	Trace Tracer
 }
 
 func (p Params) withDefaults() Params {
@@ -179,6 +185,7 @@ func buildRun(w Workload, opts Options, policy string, p Params) (sim.Config, tr
 		Utilization: p.Utilization,
 		BufferPages: p.BufferPages,
 		QueueDepth:  p.QueueDepth,
+		Tracer:      p.Trace,
 	}
 	spec, err := trace.Preset(w, sim.LogicalPagesOf(cfg), p.Requests, p.Seed)
 	if err != nil {

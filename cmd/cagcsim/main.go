@@ -7,6 +7,7 @@
 //
 //	cagcsim -workload Mail -scheme cagc -policy greedy
 //	cagcsim -workload Web-vm -scheme baseline -device 134217728 -requests 50000
+//	cagcsim -trace out.json -trace-summary
 //	cagcsim -bench -benchout BENCH_substrate.json
 //	cagcsim -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -15,11 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"cagc"
+	"cagc/internal/profiling"
 )
 
 func main() {
@@ -29,7 +29,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	var (
 		workload = flag.String("workload", "Mail", "workload preset: Homes, Web-vm, or Mail")
 		scheme   = flag.String("scheme", "cagc", "scheme: baseline, inline, or cagc")
@@ -43,7 +43,11 @@ func run() error {
 		bufPages = flag.Int("buffer", 0, "controller write-buffer pages (0 = none)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of the text report")
 
-		cold     = flag.Bool("coldstart", false, "bypass the warm-state snapshot cache (build and precondition from scratch)")
+		cold = flag.Bool("coldstart", false, "bypass the warm-state snapshot cache (build and precondition from scratch)")
+
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in chrome://tracing or Perfetto)")
+		traceSum  = flag.Bool("trace-summary", false, "print the trace summary (per-phase GC attribution, fingerprint/erase overlap, latency percentiles) to stderr")
+		traceLast = flag.Int("trace-last", 0, "flight-recorder mode: keep only the last N trace events (0 = unbounded)")
 
 		bench    = flag.Bool("bench", false, "measure substrate throughput (events/sec, ns/op, allocs/op) instead of printing a report")
 		benchOut = flag.String("benchout", "BENCH_substrate.json", "file the -bench report is written to ('' = stdout only)")
@@ -71,30 +75,30 @@ func run() error {
 		ColdStart:    *cold,
 	}
 
-	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			return err
+	tracing := *traceOut != "" || *traceSum || *traceLast > 0
+	if tracing && *bench {
+		return fmt.Errorf("-trace/-trace-summary/-trace-last cannot be combined with -bench (the harness times many runs; trace one)")
+	}
+	if *traceLast > 0 && *traceOut == "" && !*traceSum {
+		return fmt.Errorf("-trace-last needs -trace or -trace-summary to report into")
+	}
+	var rec *cagc.TraceRecorder
+	if tracing {
+		if *traceLast > 0 {
+			rec = cagc.NewFlightRecorder(*traceLast)
+		} else {
+			rec = cagc.NewTraceRecorder()
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
-		}
-		defer pprof.StopCPUProfile()
+		p.Trace = rec
+	}
+
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
 	}
 	defer func() {
-		if *memProf == "" {
-			return
-		}
-		f, err := os.Create(*memProf)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cagcsim: memprofile:", err)
-			return
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "cagcsim: memprofile:", err)
+		if err := stop(); err != nil && retErr == nil {
+			retErr = err
 		}
 	}()
 
@@ -120,12 +124,44 @@ func run() error {
 		return err
 	}
 	reportCache()
+	if err := exportTrace(rec, *traceOut, *traceSum,
+		fmt.Sprintf("%s x %s x %s", w, s, *policy)); err != nil {
+		return err
+	}
 	if *asJSON {
 		return cagc.WriteJSON(os.Stdout, res)
 	}
 	fmt.Println(cagc.TableIString(p))
 	fmt.Println()
 	cagc.FprintResult(os.Stdout, res)
+	return nil
+}
+
+// exportTrace writes the Chrome JSON and/or prints the summary. Both
+// land outside stdout's report (file / stderr), so traced and untraced
+// runs keep byte-identical stdout.
+func exportTrace(rec *cagc.TraceRecorder, out string, summary bool, label string) error {
+	if rec == nil {
+		return nil
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := cagc.WriteChromeTrace(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "cagcsim: wrote %s (%d events, %d dropped)\n",
+			out, rec.Len(), rec.Dropped())
+	}
+	if summary {
+		return cagc.SummarizeTrace(rec).WriteText(os.Stderr, label)
+	}
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"cagc/internal/dedup"
 	"cagc/internal/event"
 	"cagc/internal/ftl"
+	"cagc/internal/obs"
 )
 
 // Stats counts buffer activity.
@@ -43,6 +44,7 @@ type WriteBuffer struct {
 	index map[uint64]*list.Element
 	ctrl  event.Time
 	stats Stats
+	tr    obs.Tracer // never nil; obs.Nop when tracing is off
 }
 
 // New wraps f with a write-back buffer of capPages pages.
@@ -56,8 +58,13 @@ func New(f *ftl.FTL, capPages int) (*WriteBuffer, error) {
 		lru:   list.New(),
 		index: make(map[uint64]*list.Element, capPages),
 		ctrl:  f.Options().CtrlLatency,
+		tr:    obs.Nop,
 	}, nil
 }
+
+// SetTracer installs the tracer buffer events are reported to (nil
+// reverts to the no-op default). The wrapped FTL keeps its own tracer.
+func (b *WriteBuffer) SetTracer(tr obs.Tracer) { b.tr = obs.Or(tr) }
 
 // Clone returns a deep, independent copy of the buffer bound to f — the
 // cloned FTL the copy must flush into. Slot contents and LRU order are
@@ -71,6 +78,7 @@ func (b *WriteBuffer) Clone(f *ftl.FTL) *WriteBuffer {
 		index: make(map[uint64]*list.Element, len(b.index)),
 		ctrl:  b.ctrl,
 		stats: b.stats,
+		tr:    b.tr,
 	}
 	for el := b.lru.Front(); el != nil; el = el.Next() {
 		s := *el.Value.(*slot)
@@ -96,6 +104,7 @@ func (b *WriteBuffer) Write(at event.Time, lpn uint64, fp dedup.Fingerprint) (ev
 		el.Value.(*slot).fp = fp
 		b.lru.MoveToFront(el)
 		b.stats.WriteHits++
+		b.tr.Instant(obs.TrackBuffer, obs.KBufHit, at, lpn)
 		return at + b.ctrl, nil
 	}
 	b.stats.WriteMiss++
@@ -105,9 +114,13 @@ func (b *WriteBuffer) Write(at event.Time, lpn uint64, fp dedup.Fingerprint) (ev
 		s := el.Value.(*slot)
 		b.lru.Remove(el)
 		delete(b.index, s.lpn)
-		if _, err := b.f.Write(at, s.lpn, s.fp); err != nil {
+		end, err := b.f.Write(at, s.lpn, s.fp)
+		if err != nil {
 			return 0, fmt.Errorf("buffer: flushing lpn %d: %w", s.lpn, err)
 		}
+		// Detached: the background flush completes after the buffered
+		// write has already answered at at+ctrl.
+		b.tr.Span(obs.TrackBuffer, obs.KBufFlush, at, end, s.lpn)
 		b.stats.Flushes++
 	}
 	return at + b.ctrl, nil
@@ -118,6 +131,7 @@ func (b *WriteBuffer) Read(at event.Time, lpn uint64) (event.Time, error) {
 	if el, ok := b.index[lpn]; ok {
 		b.lru.MoveToFront(el)
 		b.stats.ReadHits++
+		b.tr.Instant(obs.TrackBuffer, obs.KBufHit, at, lpn)
 		return at + b.ctrl, nil
 	}
 	b.stats.ReadMiss++
@@ -147,6 +161,7 @@ func (b *WriteBuffer) Flush(at event.Time) (event.Time, error) {
 		if err != nil {
 			return 0, fmt.Errorf("buffer: draining lpn %d: %w", s.lpn, err)
 		}
+		b.tr.Span(obs.TrackBuffer, obs.KBufFlush, at, end, s.lpn)
 		b.stats.FinalFlush++
 		if end > done {
 			done = end

@@ -1,0 +1,15 @@
+package dedup
+
+import (
+	"cagc/internal/event"
+	"cagc/internal/obs"
+)
+
+// EmitTelemetry samples the index's occupancy onto the trace: one
+// counter point of the live-entry count at virtual time at. The index
+// has no tracer of its own — it performs no timed work — so the layers
+// that drive it (the simulation runner's sampling hook) publish its
+// state instead.
+func (x *Index) EmitTelemetry(tr obs.Tracer, at event.Time) {
+	obs.Or(tr).Counter(obs.TrackIndex, obs.KIndexLive, at, uint64(x.live))
+}

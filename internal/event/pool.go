@@ -59,13 +59,22 @@ func (p *Pool) Ops() uint64 {
 // resolve to the lowest-indexed unit (strict <), which keeps the pool
 // deterministic.
 func (p *Pool) ReserveAfter(at, dep, dur Time) (start, end Time) {
-	best := p.units[0]
-	for _, u := range p.units[1:] {
-		if u.FreeAt() < best.FreeAt() {
-			best = u
+	start, end, _ = p.ReserveAfterIdx(at, dep, dur)
+	return start, end
+}
+
+// ReserveAfterIdx is ReserveAfter plus the index of the unit the
+// reservation landed on, for callers that attribute work to individual
+// units (the tracing subsystem's per-engine timelines).
+func (p *Pool) ReserveAfterIdx(at, dep, dur Time) (start, end Time, unit int) {
+	best := 0
+	for i, u := range p.units[1:] {
+		if u.FreeAt() < p.units[best].FreeAt() {
+			best = i + 1
 		}
 	}
-	return best.ReserveAfter(at, dep, dur)
+	start, end = p.units[best].ReserveAfter(at, dep, dur)
+	return start, end, best
 }
 
 // Reserve books dur ticks on the earliest-free unit starting no earlier

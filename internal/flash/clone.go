@@ -19,6 +19,7 @@ func (d *Device) Clone() *Device {
 		hash:   d.hash.Clone(),
 		stats:  d.stats,
 		dieOps: slices.Clone(d.dieOps),
+		tr:     d.tr,
 		now:    d.now,
 	}
 	for i := range d.blocks {

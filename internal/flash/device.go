@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"cagc/internal/event"
+	"cagc/internal/obs"
 )
 
 // Operation errors. All wrap one of these sentinels so callers can test
@@ -40,6 +41,8 @@ type Device struct {
 	stats  Stats
 	dieOps []Stats // per-die operation counts, for balance diagnostics
 
+	tr obs.Tracer // never nil; obs.Nop when tracing is off
+
 	now event.Time // latest operation time observed, for block ages
 }
 
@@ -55,6 +58,7 @@ func NewDevice(cfg Config) (*Device, error) {
 		dies:   make([]*event.Timeline, g.Dies()),
 		hash:   event.NewPool(cfg.hashUnits()),
 		dieOps: make([]Stats, g.Dies()),
+		tr:     obs.Nop,
 	}
 	for i := range d.blocks {
 		d.blocks[i].states = make([]PageState, g.PagesPerBlock)
@@ -88,11 +92,16 @@ func (d *Device) Block(b BlockID) (*Block, error) {
 // DieFreeAt returns when die die becomes idle.
 func (d *Device) DieFreeAt(die DieID) event.Time { return d.dies[die].FreeAt() }
 
+// SetTracer installs the tracer die operations are reported to (nil
+// reverts to the no-op default).
+func (d *Device) SetTracer(tr obs.Tracer) { d.tr = obs.Or(tr) }
+
 // ReserveDie books raw die time for controller-managed traffic that is
 // not part of the data-page state machine (e.g., translation-page I/O
 // in a cached-mapping FTL). It returns the completion time.
 func (d *Device) ReserveDie(at event.Time, die DieID, dur event.Time) event.Time {
-	_, end := d.dies[die].Reserve(at, dur)
+	start, end := d.dies[die].Reserve(at, dur)
+	d.tr.Span(obs.DieTrack(int(die)), obs.KDieMeta, start, end, uint64(die))
 	d.observe(end)
 	return end
 }
@@ -128,7 +137,8 @@ func (d *Device) ReadPage(at event.Time, p PPN) (event.Time, error) {
 		return 0, fmt.Errorf("%w: ppn %d", ErrNotProgrammed, p)
 	}
 	die := g.DieOf(p)
-	_, end := d.dies[die].Reserve(at, d.cfg.Latencies.Read)
+	start, end := d.dies[die].Reserve(at, d.cfg.Latencies.Read)
+	d.tr.Span(obs.DieTrack(int(die)), obs.KDieRead, start, end, uint64(p))
 	d.stats.PageReads++
 	d.dieOps[die].PageReads++
 	d.observe(end)
@@ -155,7 +165,8 @@ func (d *Device) ProgramPage(at, dataReady event.Time, p PPN, tag uint64) (event
 			ErrOutOfOrder, p, idx, b, blk.writePtr)
 	}
 	die := g.DieOf(p)
-	_, end := d.dies[die].ReserveAfter(at, dataReady, d.cfg.Latencies.Program)
+	start, end := d.dies[die].ReserveAfter(at, dataReady, d.cfg.Latencies.Program)
+	d.tr.Span(obs.DieTrack(int(die)), obs.KDieProgram, start, end, uint64(p))
 	d.dieOps[die].PagePrograms++
 	blk.states[idx] = PageValid
 	blk.tags[idx] = tag
@@ -201,7 +212,8 @@ func (d *Device) EraseBlock(at, migrated event.Time, b BlockID) (event.Time, err
 		return 0, fmt.Errorf("%w: block %d at %d erases", ErrWornOut, b, blk.eraseCnt)
 	}
 	die := d.cfg.Geometry.DieOfBlock(b)
-	_, end := d.dies[die].ReserveAfter(at, migrated, d.cfg.Latencies.Erase)
+	start, end := d.dies[die].ReserveAfter(at, migrated, d.cfg.Latencies.Erase)
+	d.tr.Span(obs.DieTrack(int(die)), obs.KDieErase, start, end, uint64(b))
 	d.dieOps[die].BlockErases++
 	for i := range blk.states {
 		blk.states[i] = PageFree

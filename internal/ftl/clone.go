@@ -38,7 +38,9 @@ func (f *FTL) Clone(dev *flash.Device) *FTL {
 		gcEligible:   slices.Clone(f.gcEligible),
 		inGC:         f.inGC,
 		gcBusyUntil:  f.gcBusyUntil,
+		gcHashEnd:    f.gcHashEnd,
 		stats:        f.stats,
+		tr:           f.tr,
 		RefDist:      f.RefDist,
 		logicalPages: f.logicalPages,
 	}

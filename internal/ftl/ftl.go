@@ -8,6 +8,7 @@ import (
 	"cagc/internal/event"
 	"cagc/internal/flash"
 	"cagc/internal/metrics"
+	"cagc/internal/obs"
 )
 
 // Region labels the two block groups of the paper's placement scheme.
@@ -82,8 +83,14 @@ type FTL struct {
 
 	inGC        bool
 	gcBusyUntil event.Time // horizon of the latest GC flash operation
-	cmt         *cmt       // nil unless Options.MappingCache > 0
-	stats       Stats
+	// gcHashEnd is the completion horizon of the current collection's
+	// hash reservations. Trace-only: with OverlapHash a fingerprint can
+	// outlive both the erase and the last program, and the gc.collect
+	// span must still enclose it. Never feeds back into simulated time.
+	gcHashEnd event.Time
+	cmt       *cmt // nil unless Options.MappingCache > 0
+	stats     Stats
+	tr        obs.Tracer // never nil; obs.Nop when tracing is off
 
 	// RefDist records the peak reference count of every page at the
 	// moment it becomes invalid (Figure 6).
@@ -134,6 +141,7 @@ func New(dev *flash.Device, logicalPages uint64, opts Options) (*FTL, error) {
 		freeByDie:    make([][]flash.BlockID, g.Dies()),
 		hotOpen:      make([]flash.BlockID, g.Dies()),
 		hasHot:       make([]bool, g.Dies()),
+		tr:           obs.Nop,
 		logicalPages: logicalPages,
 	}
 	for i := range f.mapping {
@@ -164,6 +172,13 @@ func (f *FTL) Stats() Stats { return f.stats }
 
 // Device returns the underlying flash device.
 func (f *FTL) Device() *flash.Device { return f.dev }
+
+// SetTracer installs the tracer FTL events are reported to and forwards
+// it to the flash device (nil reverts both to the no-op default).
+func (f *FTL) SetTracer(tr obs.Tracer) {
+	f.tr = obs.Or(tr)
+	f.dev.SetTracer(tr)
+}
 
 // Index exposes the dedup index (read-mostly; used by reports and the
 // Figure-6 analysis).
@@ -364,7 +379,15 @@ func (f *FTL) Trim(at event.Time, lpn uint64) (event.Time, error) {
 // computation whose input is available at dataReady.
 func (f *FTL) reserveHash(at, dataReady event.Time) event.Time {
 	lat := f.dev.Config().Latencies.Hash
-	_, end := f.dev.HashEngine().ReserveAfter(at, dataReady, lat)
+	start, end, unit := f.dev.HashEngine().ReserveAfterIdx(at, dataReady, lat)
+	kind := obs.KHashInline
+	if f.inGC {
+		kind = obs.KHashGC
+		if end > f.gcHashEnd {
+			f.gcHashEnd = end
+		}
+	}
+	f.tr.Span(obs.HashTrack(unit), kind, start, end, 0)
 	f.stats.HashOps++
 	return end
 }

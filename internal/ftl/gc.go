@@ -8,6 +8,7 @@ import (
 	"cagc/internal/dedup"
 	"cagc/internal/event"
 	"cagc/internal/flash"
+	"cagc/internal/obs"
 )
 
 // Garbage collection. Triggered when the free-block fraction drops
@@ -51,6 +52,7 @@ func (f *FTL) maybeGC(now event.Time) error {
 			return nil
 		}
 		victim := f.opts.Policy.Select(now, cands)
+		f.tr.Instant(obs.TrackGC, obs.KGCSelect, now, uint64(victim))
 		if err := f.collect(now, victim); err != nil {
 			return fmt.Errorf("ftl: gc of block %d: %w", victim, err)
 		}
@@ -72,7 +74,7 @@ func (f *FTL) IdleGC(now, deadline event.Time, target float64) error {
 	f.inGC = true
 	defer func() { f.inGC = false }()
 	total := float64(len(f.blocks))
-	ran := false
+	wins := uint64(0)
 	for float64(f.freeCount)/total < target {
 		if f.gcBusyUntil > deadline {
 			break
@@ -82,14 +84,16 @@ func (f *FTL) IdleGC(now, deadline event.Time, target float64) error {
 			break
 		}
 		victim := f.opts.Policy.Select(now, cands)
+		f.tr.Instant(obs.TrackGC, obs.KGCSelect, now, uint64(victim))
 		if err := f.collect(now, victim); err != nil {
 			return fmt.Errorf("ftl: idle gc of block %d: %w", victim, err)
 		}
 		f.stats.IdleGCCollects++
-		ran = true
+		wins++
 	}
-	if ran {
+	if wins > 0 {
 		f.stats.IdleGCWindows++
+		f.tr.Instant(obs.TrackGC, obs.KIdleGC, now, wins)
 	}
 	return f.maybeWearLevel(now)
 }
@@ -110,6 +114,7 @@ func (f *FTL) ForceGC(now event.Time) error {
 			return nil
 		}
 		victim := f.opts.Policy.Select(now, cands)
+		f.tr.Instant(obs.TrackGC, obs.KGCSelect, now, uint64(victim))
 		if err := f.collect(now, victim); err != nil {
 			return fmt.Errorf("ftl: forced gc of block %d: %w", victim, err)
 		}
@@ -189,10 +194,36 @@ func (f *FTL) victimCandidates() []Candidate {
 // for the last chain, which wastes die time on purpose — it quantifies
 // what the overlap buys.
 func (f *FTL) collect(now event.Time, victim flash.BlockID) error {
+	// The collect span is detached (no parent): the erase routinely
+	// completes after the user request that tripped the watermark, so
+	// claiming to nest inside it would be a lie the nesting invariant
+	// rightly rejects. Die, hash, and GC events recorded during the
+	// collection still parent to this span.
+	id := f.tr.Begin(obs.TrackGC, obs.KGCCollect, now, uint64(victim))
+	f.gcHashEnd = 0
+	done, err := f.collectVictim(now, victim)
+	// With OverlapHash a fingerprint can complete after both the erase
+	// and the last program; the span must enclose it.
+	if f.gcHashEnd > done {
+		done = f.gcHashEnd
+	}
+	if done < now {
+		done = now
+	}
+	f.tr.End(id, done)
+	if err == nil {
+		f.idx.EmitTelemetry(f.tr, done)
+	}
+	return err
+}
+
+// collectVictim is collect's body; it returns the virtual time at which
+// every flash and hash operation of the collection has completed.
+func (f *FTL) collectVictim(now event.Time, victim flash.BlockID) (event.Time, error) {
 	g := f.dev.Geometry()
 	blk, err := f.dev.Block(victim)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	// blockDone gates the erase in the serial mode only.
 	blockDone := now
@@ -206,11 +237,11 @@ func (f *FTL) collect(now event.Time, victim flash.BlockID) error {
 		}
 		c := f.owners[ppn]
 		if c == dedup.NilCID {
-			return fmt.Errorf("valid ppn %d without owner", ppn)
+			return 0, fmt.Errorf("valid ppn %d without owner", ppn)
 		}
 		done, err := f.migratePage(now, &cursor, ppn, c)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if done > blockDone {
 			blockDone = done
@@ -229,10 +260,10 @@ func (f *FTL) collect(now event.Time, victim flash.BlockID) error {
 		f.blocks[victim].state = blkDead
 		f.clearEligible(victim)
 		f.stats.BadBlocks++
-		return nil
+		return blockDone, nil
 	}
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if eraseEnd > f.gcBusyUntil {
 		f.gcBusyUntil = eraseEnd
@@ -242,7 +273,11 @@ func (f *FTL) collect(now event.Time, victim flash.BlockID) error {
 	}
 	f.pushFree(victim)
 	f.stats.BlocksErased++
-	return nil
+	done := eraseEnd
+	if blockDone > done {
+		done = blockDone
+	}
+	return done, nil
 }
 
 // migratePage relocates (or dedups away) one valid page during GC and
@@ -315,6 +350,7 @@ func (f *FTL) migrateUnindexed(now event.Time, cursor *event.Time, overlap bool,
 		}
 		f.owners[ppn] = dedup.NilCID
 		f.stats.GCDupDropped++
+		f.tr.Instant(obs.TrackGC, obs.KGCDedupHit, hashEnd, uint64(ppn))
 		done := hashEnd
 
 		// Crossing the threshold promotes the surviving copy to the
@@ -340,6 +376,7 @@ func (f *FTL) migrateUnindexed(now event.Time, cursor *event.Time, overlap bool,
 	if err := f.idx.Publish(c); err != nil {
 		return 0, err
 	}
+	f.tr.Instant(obs.TrackGC, obs.KGCPublish, hashEnd, uint64(ppn))
 	ref, err := f.idx.Ref(c)
 	if err != nil {
 		return 0, err
@@ -370,6 +407,7 @@ func (f *FTL) relocateAfter(now, dataReady event.Time, oldPPN flash.PPN, c dedup
 	if f.opts.HotCold && region == Hot &&
 		f.blocks[f.dev.Geometry().BlockOf(oldPPN)].region == Cold {
 		f.stats.Demotions++
+		f.tr.Instant(obs.TrackGC, obs.KDemote, now, uint64(oldPPN))
 	}
 	dest, _, err := f.allocPage(region)
 	if err != nil {
@@ -443,6 +481,7 @@ func (f *FTL) promote(now, after event.Time, c dedup.CID) (event.Time, bool, err
 	}
 	f.owners[ppn] = dedup.NilCID
 	f.stats.Promotions++
+	f.tr.Instant(obs.TrackGC, obs.KPromote, progEnd, uint64(dest))
 	return progEnd, true, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"cagc/internal/event"
 	"cagc/internal/flash"
 	"cagc/internal/flathash"
+	"cagc/internal/obs"
 )
 
 // DFTL-style cached mapping. The paper (like most dedup-FTL studies)
@@ -133,7 +134,9 @@ func (f *FTL) chargeMapAccess(at event.Time, lpn uint64, write bool) event.Time 
 		// the request only waits for its own translation read.
 		f.dev.ReserveDie(at, f.mapDie(victim, g), lat.Program)
 	}
-	return f.dev.ReserveDie(at, die, lat.Read)
+	end := f.dev.ReserveDie(at, die, lat.Read)
+	f.tr.Span(obs.TrackMap, obs.KMapStall, at, end, page)
+	return end
 }
 
 // mapDie spreads translation pages over dies.

@@ -5,6 +5,7 @@ import (
 
 	"cagc/internal/event"
 	"cagc/internal/flash"
+	"cagc/internal/obs"
 )
 
 // Static wear leveling. Victim-selection policies level *dynamic* wear
@@ -61,5 +62,6 @@ func (f *FTL) maybeWearLevel(now event.Time) error {
 		return fmt.Errorf("ftl: wear-level swap of block %d: %w", coldest, err)
 	}
 	f.stats.WLSwaps++
+	f.tr.Instant(obs.TrackGC, obs.KWearLevel, now, uint64(coldest))
 	return nil
 }

@@ -49,6 +49,19 @@ func TestHistogramNegativeClamped(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Record(17)
+	for _, p := range []float64{0, 0.5, 0.99, 0.999, 1} {
+		if got := h.Percentile(p); got != 17 {
+			t.Errorf("P%g of a single sample = %v, want 17", p*100, got)
+		}
+	}
+	if h.Min() != 17 || h.Max() != 17 || h.Mean() != 17 {
+		t.Errorf("min/max/mean = %v/%v/%v, want 17", h.Min(), h.Max(), h.Mean())
+	}
+}
+
 func TestHistogramPercentileExactSmall(t *testing.T) {
 	var h Histogram
 	// Values < 32 land in exact (width-1) buckets.

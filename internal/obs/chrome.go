@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace_event exporter. The output loads in chrome://tracing and
+// Perfetto (legacy JSON importer). Determinism contract: the same
+// recorded events always produce byte-identical output — fields are
+// written by hand in a fixed order, timestamps are formatted as exact
+// decimal microseconds (never floats), and track metadata is emitted
+// from a sorted slice, never a map iteration.
+
+// usec formats a virtual-time nanosecond stamp as Chrome's microsecond
+// unit with exact nanosecond precision ("12.345").
+func usec(t int64) string {
+	neg := ""
+	if t < 0 { // cannot happen with virtual time; keep the format total
+		neg, t = "-", -t
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, t/1000, t%1000)
+}
+
+// trackName returns the display name of a trace track.
+func trackName(t Track) string {
+	switch t {
+	case TrackRequests:
+		return "requests"
+	case TrackGC:
+		return "gc"
+	case TrackMap:
+		return "map-cache"
+	case TrackBuffer:
+		return "write-buffer"
+	case TrackIndex:
+		return "dedup-index"
+	}
+	if die, ok := IsDieTrack(t); ok {
+		return fmt.Sprintf("die %d", die)
+	}
+	if unit, ok := IsHashTrack(t); ok {
+		return fmt.Sprintf("hash %d", unit)
+	}
+	return fmt.Sprintf("track %d", uint32(t))
+}
+
+// tracksOf collects the distinct tracks present in evs, ascending.
+func tracksOf(evs []Event) []Track {
+	tracks := make([]Track, 0, 16)
+	for i := range evs {
+		tracks = append(tracks, evs[i].Track)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+	out := tracks[:0]
+	for i, t := range tracks {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// WriteChrome writes the recorder's events as Chrome trace_event JSON.
+// All events share pid 1; the tid is the obs.Track. Span kinds become
+// complete events (ph "X" with ts+dur), instants become ph "i" with
+// thread scope, counters become ph "C" with the sampled value as the
+// single series "v". Span and instant args carry the event's seq and
+// parent seq so the nesting structure survives the export.
+func WriteChrome(w io.Writer, r *Recorder) error {
+	evs := r.Events()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\n\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	sep := func() error {
+		if first {
+			first = false
+			return nil
+		}
+		_, err := bw.WriteString(",\n")
+		return err
+	}
+	meta := func(name string, tid Track, value string) error {
+		if err := sep(); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(bw,
+			`{"name":%q,"ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`,
+			name, uint32(tid), value)
+		return err
+	}
+	if err := meta("process_name", 0, "cagc-sim"); err != nil {
+		return err
+	}
+	for _, t := range tracksOf(evs) {
+		if err := meta("thread_name", t, trackName(t)); err != nil {
+			return err
+		}
+	}
+	for i := range evs {
+		ev := &evs[i]
+		if err := sep(); err != nil {
+			return err
+		}
+		var err error
+		switch ev.Kind.Phase() {
+		case 'X':
+			_, err = fmt.Fprintf(bw,
+				`{"name":%q,"ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"v":%d,"seq":%d,"parent":%d}}`,
+				ev.Kind.Name(), usec(int64(ev.Start)), usec(int64(ev.End-ev.Start)),
+				uint32(ev.Track), ev.Arg, ev.Seq, ev.Parent)
+		case 'C':
+			_, err = fmt.Fprintf(bw,
+				`{"name":%q,"ph":"C","ts":%s,"pid":1,"tid":%d,"args":{"v":%d}}`,
+				ev.Kind.Name(), usec(int64(ev.Start)), uint32(ev.Track), ev.Arg)
+		default: // 'i'
+			_, err = fmt.Fprintf(bw,
+				`{"name":%q,"ph":"i","ts":%s,"s":"t","pid":1,"tid":%d,"args":{"v":%d,"seq":%d,"parent":%d}}`,
+				ev.Kind.Name(), usec(int64(ev.Start)), uint32(ev.Track),
+				ev.Arg, ev.Seq, ev.Parent)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

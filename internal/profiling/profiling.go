@@ -1,0 +1,79 @@
+// Package profiling owns the pprof lifecycle for the CLIs: starting
+// CPU/heap profiles and — the part that is easy to get wrong — flushing
+// and closing them on every exit path, including error returns. A
+// truncated profile is worse than none: pprof reads it without
+// complaint and misattributes the missing tail.
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) file
+// paths and returns a stop function that flushes and closes them.
+// Callers must invoke stop exactly once on every exit path — typically
+//
+//	stop, err := profiling.Start(cpuPath, memPath)
+//	if err != nil { return err }
+//	defer func() {
+//		if err := stop(); err != nil && retErr == nil { retErr = err }
+//	}()
+//
+// so a profile-teardown failure surfaces as the command's error instead
+// of being dropped. stop is idempotent; extra calls return nil. The
+// heap profile is written at stop time (after a runtime.GC for settled
+// numbers), so it reflects live memory at the end of the run.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	done := false
+	return func() error {
+		if done {
+			return nil
+		}
+		done = true
+		var errs []error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("profiling: cpu profile: %w", err))
+			}
+		}
+		if memPath != "" {
+			if err := writeHeap(memPath); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}
+
+// writeHeap dumps a settled heap profile to path.
+func writeHeap(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("profiling: heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("profiling: heap profile: %w", err)
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"cagc/internal/flash"
 	"cagc/internal/ftl"
 	"cagc/internal/metrics"
+	"cagc/internal/obs"
 	"cagc/internal/trace"
 )
 
@@ -51,6 +52,12 @@ type Config struct {
 	// Zero (default) keeps the open-loop trace-timestamp replay the
 	// figures use.
 	QueueDepth int
+	// Tracer, when non-nil, receives every instrumentation event of the
+	// run (request spans, die operations, GC lifecycle, ...). Tracing is
+	// purely observational — it never changes what the run computes —
+	// and the field is excluded from warm-state snapshot identity: a
+	// traced run may be served from a snapshot built by an untraced one.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +151,7 @@ type Runner struct {
 	dev *flash.Device
 	f   *ftl.FTL
 	buf *buffer.WriteBuffer // nil unless BufferPages > 0
+	tr  obs.Tracer          // never nil; obs.Nop when tracing is off
 }
 
 // LogicalPagesOf returns the logical address-space size a runner built
@@ -172,7 +180,19 @@ func NewRunner(cfg Config) (*Runner, error) {
 			return nil, err
 		}
 	}
+	r.SetTracer(cfg.Tracer)
 	return r, nil
+}
+
+// SetTracer installs tr (nil reverts to the no-op default) on the
+// runner and every layer beneath it: the FTL, the flash device, and the
+// write buffer when present.
+func (r *Runner) SetTracer(tr obs.Tracer) {
+	r.tr = obs.Or(tr)
+	r.f.SetTracer(tr)
+	if r.buf != nil {
+		r.buf.SetTracer(tr)
+	}
 }
 
 // Buffer returns the interposed write buffer, or nil.
@@ -185,9 +205,24 @@ func (r *Runner) FTL() *ftl.FTL { return r.f }
 // specs must match.
 func (r *Runner) LogicalPages() uint64 { return r.f.LogicalPages() }
 
+// reqKind maps a trace operation to its request-span kind.
+func reqKind(op trace.Op) obs.Kind {
+	switch op {
+	case trace.OpRead:
+		return obs.KReqRead
+	case trace.OpWrite:
+		return obs.KReqWrite
+	default:
+		return obs.KReqTrim
+	}
+}
+
 // serveRequest issues one request's page operations and returns the
-// completion time (max across pages).
+// completion time (max across pages). The whole request is one scope
+// span on the requests track: every die, hash, buffer, and map event it
+// causes (except detached background work) records as its child.
 func (r *Runner) serveRequest(req trace.Request) (event.Time, error) {
+	id := r.tr.Begin(obs.TrackRequests, reqKind(req.Op), req.At, req.LPN)
 	var done event.Time
 	for i := 0; i < req.Pages; i++ {
 		lpn := req.LPN + uint64(i)
@@ -213,12 +248,14 @@ func (r *Runner) serveRequest(req trace.Request) (event.Time, error) {
 			err = fmt.Errorf("sim: unknown op %v", req.Op)
 		}
 		if err != nil {
+			r.tr.End(id, req.At)
 			return 0, err
 		}
 		if end > done {
 			done = end
 		}
 	}
+	r.tr.End(id, done)
 	return done, nil
 }
 

@@ -30,7 +30,7 @@ type Snapshot struct {
 // bit-identity contract.
 func (r *Runner) Clone() *Runner {
 	dev := r.dev.Clone()
-	c := &Runner{cfg: r.cfg, dev: dev, f: r.f.Clone(dev)}
+	c := &Runner{cfg: r.cfg, dev: dev, f: r.f.Clone(dev), tr: r.tr}
 	if r.buf != nil {
 		c.buf = r.buf.Clone(c.f)
 	}
@@ -44,6 +44,12 @@ func (r *Runner) Clone() *Runner {
 // measured-trace parameters (request count, arrival process, Seed) may
 // differ freely between the snapshot and later RunWarm calls.
 func NewSnapshot(cfg Config, spec trace.Spec) (*Snapshot, error) {
+	// Tracers never trace the master build: the fill is shared state,
+	// not part of any one run. A traced run served from this snapshot
+	// installs its tracer on its clone (NewRunner below), so its trace
+	// covers exactly the replay — and tracing being observational, the
+	// replay itself is bit-identical either way.
+	cfg.Tracer = nil
 	r, err := NewRunner(cfg)
 	if err != nil {
 		return nil, err
@@ -82,6 +88,7 @@ func (s *Snapshot) NewRunner(cfg Config) (*Runner, error) {
 	}
 	r := s.master.Clone()
 	r.cfg = cfg
+	r.SetTracer(cfg.Tracer)
 	return r, nil
 }
 
@@ -90,6 +97,9 @@ func (s *Snapshot) NewRunner(cfg Config) (*Runner, error) {
 func (s *Snapshot) compatible(cfg Config) error {
 	a, b := s.cfg, cfg
 	a.QueueDepth, b.QueueDepth = 0, 0
+	// Tracing is observational; a snapshot serves traced and untraced
+	// runs alike.
+	a.Tracer, b.Tracer = nil, nil
 	an, bn := "", ""
 	if a.Options.Policy != nil {
 		an = a.Options.Policy.Name()

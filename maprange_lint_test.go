@@ -31,6 +31,7 @@ var mapRangeLintedPackages = []string{
 	"internal/dedup",
 	"internal/flash",
 	"internal/ftl",
+	"internal/obs",
 	"internal/sim",
 }
 
