@@ -116,6 +116,12 @@ type Params struct {
 	// warm (cached) run the trace covers the measured replay; combine
 	// with ColdStart to also trace the preconditioning fill.
 	Trace Tracer
+	// Sched names the event-scheduler implementation driving the
+	// replay: "calendar" (default, also the empty string) or "heap"
+	// (the reference implementation). Results are byte-identical
+	// either way; the knob exists for differential testing and
+	// performance comparison.
+	Sched string
 }
 
 func (p Params) withDefaults() Params {
@@ -177,6 +183,10 @@ func buildRun(w Workload, opts Options, policy string, p Params) (sim.Config, tr
 	if p.MappingCache > 0 {
 		opts.MappingCache = p.MappingCache
 	}
+	sched, err := event.ParseSched(p.Sched)
+	if err != nil {
+		return sim.Config{}, trace.Spec{}, err
+	}
 	device := flash.ScaledConfig(p.DeviceBytes)
 	device.EraseLimit = p.EraseLimit
 	cfg := sim.Config{
@@ -186,6 +196,7 @@ func buildRun(w Workload, opts Options, policy string, p Params) (sim.Config, tr
 		BufferPages: p.BufferPages,
 		QueueDepth:  p.QueueDepth,
 		Tracer:      p.Trace,
+		Sched:       sched,
 	}
 	spec, err := trace.Preset(w, sim.LogicalPagesOf(cfg), p.Requests, p.Seed)
 	if err != nil {

@@ -40,6 +40,7 @@ func run() (retErr error) {
 		util     = flag.Float64("util", 0.55, "logical space as a fraction of user capacity")
 		thresh   = flag.Int("threshold", 1, "CAGC hot/cold reference-count threshold")
 		qd       = flag.Int("qd", 0, "closed-loop queue depth (0 = open-loop trace replay)")
+		sched    = flag.String("sched", "calendar", "event scheduler: calendar or heap (byte-identical results)")
 		bufPages = flag.Int("buffer", 0, "controller write-buffer pages (0 = none)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of the text report")
 
@@ -71,6 +72,7 @@ func run() (retErr error) {
 		Utilization:  *util,
 		RefThreshold: *thresh,
 		QueueDepth:   *qd,
+		Sched:        *sched,
 		BufferPages:  *bufPages,
 		ColdStart:    *cold,
 	}

@@ -1,18 +1,20 @@
 // Package event provides the discrete-event core used by the SSD
 // simulator: a virtual clock measured in integer nanoseconds and a
-// deterministic min-heap event queue.
+// deterministic event queue.
 //
 // The queue orders events by firing time; events scheduled for the same
 // instant fire in the order they were scheduled (FIFO tie-breaking via a
 // monotonically increasing sequence number), so simulations are fully
 // deterministic and independent of map iteration or scheduling jitter.
 //
-// The queue is a value-typed 4-ary min-heap over item structs rather
-// than a container/heap of pointers: no interface boxing, no per-event
-// pointer allocation, and a shallower tree than a binary heap (fewer
-// cache lines touched per pop). Steady-state scheduling — a bounded
-// queue fed through At/After or the reusable-handler AtArg/AfterArg
-// path — performs zero allocations per event.
+// Two queue implementations sit behind the same Sim API (see sched.go):
+// the default calendar queue — power-of-two time buckets with an
+// overflow ladder, O(1) amortized for the bounded, quantized NAND
+// timing this simulator generates — and the reference value-typed 4-ary
+// min-heap (SchedHeap). Both produce the identical (time, seq) firing
+// order. Steady-state scheduling — a bounded queue fed through At/After
+// or the reusable-handler AtArg/AfterArg path, with or without
+// cancelable handles — performs zero allocations per event.
 package event
 
 import (
@@ -64,14 +66,18 @@ type Handler func(now Time)
 // every time it is created.
 type ArgHandler func(now Time, arg uint64)
 
-// item is a scheduled event inside the heap, stored by value. Exactly
-// one of fn/afn is non-nil.
+// item is a scheduled event inside a queue, stored by value. Exactly
+// one of fn/afn is non-nil. slot/gen are zero for plain events; for
+// handle-carrying events they tie the item to its slot-table entry so
+// lazy cancellation can recognize it as stale at pop time.
 type item struct {
-	at  Time
-	seq uint64
-	fn  Handler
-	afn ArgHandler
-	arg uint64
+	at   Time
+	seq  uint64
+	fn   Handler
+	afn  ArgHandler
+	arg  uint64
+	slot uint32
+	gen  uint32
 }
 
 // before reports whether a fires before b: earlier time first, FIFO
@@ -83,30 +89,58 @@ func (a *item) before(b *item) bool {
 	return a.seq < b.seq
 }
 
-// heapArity is the fan-out of the event heap. 4-ary keeps siblings on
-// one or two cache lines and halves the tree depth of a binary heap;
-// the (time, seq) order makes the pop sequence identical regardless of
-// arity.
-const heapArity = 4
-
 // ErrPastEvent is returned by Sim.At when an event is scheduled before
 // the current simulation time.
 var ErrPastEvent = errors.New("event: scheduled in the past")
 
 // Sim is a discrete-event simulation loop. The zero value is not usable;
-// construct with NewSim.
+// construct with NewSim or NewSimOpts.
 type Sim struct {
 	now     Time
 	seq     uint64
-	q       []item
+	q       queue
 	stopped bool
 	fired   uint64
+	live    int // pending events that are not canceled
+	kind    SchedKind
+
+	// Lazy-cancellation handle table (see sched.go).
+	slots     []slot
+	freeSlots []uint32
+	staleFn   func(*item) bool // hoisted s.itemStale, so peeks don't allocate
+
+	maxDepth     int
+	cancels      uint64
+	reschedules  uint64
+	staleSkipped uint64
 }
 
-// NewSim returns a simulation whose clock starts at zero.
+// NewSim returns a simulation whose clock starts at zero, using the
+// default calendar-queue scheduler with the default bucket width.
 func NewSim() *Sim {
-	return &Sim{}
+	return NewSimOpts(SchedCalendar, 0)
 }
+
+// NewSimOpts returns a simulation using the given scheduler.
+// bucketWidth sizes the calendar buckets — pass the device's smallest
+// meaningful latency (e.g. the NAND read latency); it is rounded up to
+// a power of two. Zero or negative means the default (2^14 ns ≈ 16 µs,
+// the Table-I read latency rounded up). The heap ignores it.
+func NewSimOpts(kind SchedKind, bucketWidth Time) *Sim {
+	s := &Sim{kind: kind}
+	switch kind {
+	case SchedHeap:
+		s.q = &heapQ{}
+	default:
+		s.kind = SchedCalendar
+		s.q = newCalendar(bucketWidth)
+	}
+	s.staleFn = s.itemStale
+	return s
+}
+
+// Kind returns the scheduler implementation in use.
+func (s *Sim) Kind() SchedKind { return s.kind }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
@@ -114,64 +148,10 @@ func (s *Sim) Now() Time { return s.now }
 // Fired reports how many events have been executed so far.
 func (s *Sim) Fired() uint64 { return s.fired }
 
-// Pending reports how many events are waiting in the queue.
-func (s *Sim) Pending() int { return len(s.q) }
-
-// push inserts it with a hole-based sift-up (parents slide down into
-// the hole; one final write places the item).
-func (s *Sim) push(it item) {
-	q := append(s.q, it)
-	i := len(q) - 1
-	for i > 0 {
-		p := (i - 1) / heapArity
-		if !it.before(&q[p]) {
-			break
-		}
-		q[i] = q[p]
-		i = p
-	}
-	q[i] = it
-	s.q = q
-}
-
-// pop removes and returns the earliest item.
-func (s *Sim) pop() item {
-	q := s.q
-	top := q[0]
-	n := len(q) - 1
-	last := q[n]
-	q[n] = item{} // release the handler reference
-	q = q[:n]
-	if n > 0 {
-		// Sift last down from the root, sliding the smallest child up
-		// into the hole.
-		i := 0
-		for {
-			c := heapArity*i + 1
-			if c >= n {
-				break
-			}
-			m := c
-			hi := c + heapArity
-			if hi > n {
-				hi = n
-			}
-			for j := c + 1; j < hi; j++ {
-				if q[j].before(&q[m]) {
-					m = j
-				}
-			}
-			if !q[m].before(&last) {
-				break
-			}
-			q[i] = q[m]
-			i = m
-		}
-		q[i] = last
-	}
-	s.q = q
-	return top
-}
+// Pending reports how many scheduled events are still due to fire.
+// Canceled events stop counting immediately, even though their queue
+// slots are only reclaimed lazily.
+func (s *Sim) Pending() int { return s.live }
 
 func (s *Sim) schedule(it item) error {
 	if it.at < s.now {
@@ -179,7 +159,11 @@ func (s *Sim) schedule(it item) error {
 	}
 	it.seq = s.seq
 	s.seq++
-	s.push(it)
+	s.q.push(it, s.now)
+	s.live++
+	if d := s.q.size(); d > s.maxDepth {
+		s.maxDepth = d
+	}
 	return nil
 }
 
@@ -220,20 +204,34 @@ func (s *Sim) AfterArg(delay Time, fn ArgHandler, arg uint64) {
 func (s *Sim) Stop() { s.stopped = true }
 
 // Step executes the single earliest pending event, advancing the clock
-// to its firing time. It reports whether an event was executed.
+// to its firing time. It reports whether an event was executed. Stale
+// items — canceled or rescheduled handles surfacing at the head — are
+// absorbed silently without advancing the clock.
 func (s *Sim) Step() bool {
-	if len(s.q) == 0 {
-		return false
+	for {
+		it, ok := s.q.pop()
+		if !ok {
+			return false
+		}
+		if it.slot != 0 {
+			sl := &s.slots[it.slot]
+			if sl.gen != it.gen {
+				s.staleSkipped++
+				continue
+			}
+			// The handle's event is firing: the handle dies here.
+			s.freeSlot(it.slot)
+		}
+		s.now = it.at
+		s.fired++
+		s.live--
+		if it.afn != nil {
+			it.afn(it.at, it.arg)
+		} else {
+			it.fn(it.at)
+		}
+		return true
 	}
-	it := s.pop()
-	s.now = it.at
-	s.fired++
-	if it.afn != nil {
-		it.afn(it.at, it.arg)
-	} else {
-		it.fn(it.at)
-	}
-	return true
 }
 
 // Run executes events until the queue is empty or Stop is called. It
@@ -251,7 +249,11 @@ func (s *Sim) Run() Time {
 // the last fired event — a stopped run must not pretend time passed.
 func (s *Sim) RunUntil(deadline Time) Time {
 	s.stopped = false
-	for !s.stopped && len(s.q) > 0 && s.q[0].at <= deadline {
+	for !s.stopped {
+		t, ok := s.q.peekLive(s.staleFn)
+		if !ok || t > deadline {
+			break
+		}
 		s.Step()
 	}
 	if !s.stopped && s.now < deadline {

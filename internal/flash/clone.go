@@ -21,6 +21,8 @@ func (d *Device) Clone() *Device {
 		dieOps: slices.Clone(d.dieOps),
 		tr:     d.tr,
 		now:    d.now,
+
+		totalPages: d.totalPages,
 	}
 	for i := range d.blocks {
 		b := d.blocks[i]

@@ -33,7 +33,7 @@ func (f *FTL) popFree(pref flash.DieID) (flash.BlockID, bool) {
 
 // pushFree returns an erased block to its die's free list.
 func (f *FTL) pushFree(b flash.BlockID) {
-	die := f.dev.Geometry().DieOfBlock(b)
+	die := f.geo.DieOfBlock(b)
 	f.freeByDie[die] = append(f.freeByDie[die], b)
 	f.freeCount++
 	f.blocks[b].state = blkFree
@@ -42,10 +42,10 @@ func (f *FTL) pushFree(b flash.BlockID) {
 
 // allocPage returns the next programmable page in the given region.
 func (f *FTL) allocPage(region Region) (flash.PPN, flash.DieID, error) {
-	g := f.dev.Geometry()
+	g := &f.geo
 	if region == Cold && f.opts.HotCold {
 		if !f.hasCold {
-			b, ok := f.popFree(flash.DieID(f.hotRR % g.Dies()))
+			b, ok := f.popFree(flash.DieID(f.hotRR % f.dies))
 			if !ok {
 				return flash.InvalidPPN, 0, ErrDeviceFull
 			}
@@ -63,7 +63,7 @@ func (f *FTL) allocPage(region Region) (flash.PPN, flash.DieID, error) {
 	}
 
 	// Hot region: round-robin across per-die open blocks.
-	dies := g.Dies()
+	dies := f.dies
 	for i := 0; i < dies; i++ {
 		d := (f.hotRR + i) % dies
 		if !f.hasHot[d] {
@@ -103,7 +103,7 @@ func (f *FTL) allocPage(region Region) (flash.PPN, flash.DieID, error) {
 // closeIfFull retires the containing block from its frontier once every
 // page is programmed, making it GC-eligible.
 func (f *FTL) closeIfFull(ppn flash.PPN) {
-	g := f.dev.Geometry()
+	g := &f.geo
 	b := g.BlockOf(ppn)
 	blk, err := f.dev.Block(b)
 	if err != nil || !blk.Full() {

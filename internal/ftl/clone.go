@@ -23,6 +23,9 @@ func (f *FTL) Clone(dev *flash.Device) *FTL {
 	c := &FTL{
 		dev:          dev,
 		opts:         f.opts,
+		geo:          f.geo,
+		dies:         f.dies,
+		gcFreeOK:     f.gcFreeOK,
 		idx:          f.idx.Clone(),
 		mapping:      slices.Clone(f.mapping),
 		owners:       slices.Clone(f.owners),

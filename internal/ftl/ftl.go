@@ -55,6 +55,17 @@ type FTL struct {
 	dev  *flash.Device
 	opts Options
 
+	// Hot-path caches of per-device constants: the geometry (every
+	// allocation and close consults it), the die count, and the
+	// watermark check precomputed as an integer free-block threshold.
+	geo  flash.Geometry
+	dies int
+	// gcFreeOK is the smallest free-block count that satisfies the GC
+	// watermark — exactly the set of counts for which
+	// float64(freeCount)/totalBlocks >= Watermark holds, so the integer
+	// compare preserves the float boundary bit-for-bit.
+	gcFreeOK int
+
 	idx     *dedup.Index
 	mapping []dedup.CID // LPN -> CID (NilCID = unmapped)
 	owners  []dedup.CID // PPN -> owning CID (NilCID = none)
@@ -132,6 +143,8 @@ func New(dev *flash.Device, logicalPages uint64, opts Options) (*FTL, error) {
 	f := &FTL{
 		dev:          dev,
 		opts:         o,
+		geo:          g,
+		dies:         g.Dies(),
 		idx:          dedup.NewIndex(),
 		rev:          newRevMap(),
 		mapping:      make([]dedup.CID, logicalPages),
@@ -155,6 +168,7 @@ func New(dev *flash.Device, logicalPages uint64, opts Options) (*FTL, error) {
 		f.freeByDie[die] = append(f.freeByDie[die], flash.BlockID(b))
 	}
 	f.freeCount = g.TotalBlocks()
+	f.gcFreeOK = gcFreeThreshold(g.TotalBlocks(), o.Watermark)
 	if o.IndexCapacity > 0 {
 		f.idx.SetCapacity(o.IndexCapacity)
 	}

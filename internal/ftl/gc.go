@@ -31,21 +31,35 @@ import (
 // the whole device in one storm, serializing user I/O behind it.
 const maxGCBatch = 2
 
+// gcFreeThreshold returns the smallest free-block count satisfying the
+// watermark: the integer form of float64(free)/total >= watermark,
+// nudged across the float boundary so both tests agree on every count.
+func gcFreeThreshold(total int, watermark float64) int {
+	t := float64(total)
+	ok := int(watermark * t)
+	for ok > 0 && float64(ok-1)/t >= watermark {
+		ok--
+	}
+	for ok <= total && float64(ok)/t < watermark {
+		ok++
+	}
+	return ok
+}
+
 // maybeGC runs one bounded garbage-collection batch if the free pool is
 // below the watermark.
 func (f *FTL) maybeGC(now event.Time) error {
 	if f.inGC {
 		return nil
 	}
-	total := float64(len(f.blocks))
-	if float64(f.freeCount)/total >= f.opts.Watermark {
+	if f.freeCount >= f.gcFreeOK {
 		return nil
 	}
 	f.inGC = true
 	defer func() { f.inGC = false }()
 	f.stats.GCInvocations++
 
-	for i := 0; i < maxGCBatch && float64(f.freeCount)/total < f.opts.Watermark; i++ {
+	for i := 0; i < maxGCBatch && f.freeCount < f.gcFreeOK; i++ {
 		cands := f.victimCandidates()
 		if len(cands) == 0 {
 			f.stats.FutileGC++
@@ -220,7 +234,7 @@ func (f *FTL) collect(now event.Time, victim flash.BlockID) error {
 // collectVictim is collect's body; it returns the virtual time at which
 // every flash and hash operation of the collection has completed.
 func (f *FTL) collectVictim(now event.Time, victim flash.BlockID) (event.Time, error) {
-	g := f.dev.Geometry()
+	g := &f.geo
 	blk, err := f.dev.Block(victim)
 	if err != nil {
 		return 0, err
@@ -405,7 +419,7 @@ func (f *FTL) relocateAfter(now, dataReady event.Time, oldPPN flash.PPN, c dedup
 	// collected (lazy demotion — no extra copies, the migration was
 	// happening anyway).
 	if f.opts.HotCold && region == Hot &&
-		f.blocks[f.dev.Geometry().BlockOf(oldPPN)].region == Cold {
+		f.blocks[f.geo.BlockOf(oldPPN)].region == Cold {
 		f.stats.Demotions++
 		f.tr.Instant(obs.TrackGC, obs.KDemote, now, uint64(oldPPN))
 	}
@@ -444,7 +458,7 @@ func (f *FTL) promote(now, after event.Time, c dedup.CID) (event.Time, bool, err
 	if err != nil {
 		return 0, false, err
 	}
-	g := f.dev.Geometry()
+	g := &f.geo
 	if f.blocks[g.BlockOf(ppn)].region == Cold {
 		return 0, false, nil
 	}

@@ -125,7 +125,7 @@ func (f *FTL) chargeMapAccess(at event.Time, lpn uint64, write bool) event.Time 
 	if hit {
 		return at
 	}
-	g := f.dev.Geometry()
+	g := f.geo
 	lat := f.dev.Config().Latencies
 	page := lpn / mapEntriesPerPage
 	die := f.mapDie(page, g)

@@ -39,7 +39,7 @@ func (f *FTL) invalidatePage(ppn flash.PPN) error {
 	if err := f.dev.Invalidate(ppn); err != nil {
 		return err
 	}
-	b := f.dev.Geometry().BlockOf(ppn)
+	b := f.geo.BlockOf(ppn)
 	if f.blocks[b].state == blkClosed {
 		f.markEligible(b)
 	}

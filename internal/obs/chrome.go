@@ -37,6 +37,8 @@ func trackName(t Track) string {
 		return "write-buffer"
 	case TrackIndex:
 		return "dedup-index"
+	case TrackSched:
+		return "scheduler"
 	}
 	if die, ok := IsDieTrack(t); ok {
 		return fmt.Sprintf("die %d", die)

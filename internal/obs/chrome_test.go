@@ -182,6 +182,7 @@ func TestTrackNames(t *testing.T) {
 		{TrackMap, "map-cache"},
 		{TrackBuffer, "write-buffer"},
 		{TrackIndex, "dedup-index"},
+		{TrackSched, "scheduler"},
 		{DieTrack(3), "die 3"},
 		{HashTrack(1), "hash 1"},
 	}

@@ -42,6 +42,10 @@ const (
 	TrackBuffer Track = 3
 	// TrackIndex carries dedup-index occupancy counter samples.
 	TrackIndex Track = 4
+	// TrackSched carries event-scheduler occupancy telemetry: queue
+	// depth samples during the replay, and the calendar's rotation /
+	// overflow-migration / stale-skip totals at the end of the run.
+	TrackSched Track = 5
 
 	trackDieBase  Track = 100
 	trackHashBase Track = 10000
@@ -115,6 +119,12 @@ const (
 	// Dedup index telemetry (counter samples on TrackIndex).
 	KIndexLive
 
+	// Event-scheduler occupancy (counter samples on TrackSched).
+	KSchedDepth     // queued events (periodic sample during replay)
+	KSchedRotations // calendar window rotations (cumulative)
+	KSchedOverflow  // overflow-ladder migrations (cumulative)
+	KSchedStale     // lazily-canceled items absorbed at pop (cumulative)
+
 	numKinds
 )
 
@@ -155,6 +165,12 @@ var kindTable = [numKinds]kindInfo{
 	// Counter series are global state samples, not nested work — and the
 	// post-collect sample can land after the request that triggered GC.
 	KIndexLive: {name: "index.live", ph: 'C', detached: true},
+	// Scheduler occupancy is harness state, not simulated work: samples
+	// are taken between events, outside any request scope.
+	KSchedDepth:     {name: "sched.depth", ph: 'C', detached: true},
+	KSchedRotations: {name: "sched.rotations", ph: 'C', detached: true},
+	KSchedOverflow:  {name: "sched.overflow_migrations", ph: 'C', detached: true},
+	KSchedStale:     {name: "sched.stale_skipped", ph: 'C', detached: true},
 }
 
 // Name returns the kind's fixed event name.

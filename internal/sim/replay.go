@@ -1,0 +1,292 @@
+package sim
+
+// The measured replay, event-driven: request arrivals and closed-loop
+// issue slots are events on the runner's scheduler (Runner.es) instead
+// of iterations of a synchronous loop. The pump keeps a window of
+// future events queued — arrivalLookahead trace arrivals in open-loop
+// mode, QueueDepth issue tokens in closed-loop mode — so the scheduler
+// carries the replay's control flow and its insert/pop cost sits
+// directly on the run's critical path. Both scheduler implementations
+// (calendar and heap) pop in the identical (time, seq) order, so the
+// Result is byte-identical regardless of -sched, and identical to the
+// synchronous loop this replaced.
+
+import (
+	"fmt"
+
+	"cagc/internal/event"
+	"cagc/internal/metrics"
+	"cagc/internal/obs"
+	"cagc/internal/trace"
+)
+
+// arrivalLookahead is how many trace arrivals the open-loop pump keeps
+// scheduled ahead of the clock. Two suffice: the arrival being fired
+// plus the next one, whose timestamp the idle-GC window decision needs.
+// Keeping the horizon this short matters for idle-heavy traces (Mail):
+// with a deep lookahead, arrivals land far beyond the calendar window
+// and every one of them detours through the overflow ladder — heap
+// push, migration, bucket insert — which profiling showed cost ~12 %
+// of the whole run. Results are byte-identical at any lookahead; only
+// scheduler traffic changes.
+const arrivalLookahead = 2
+
+// schedSampleEvery is the request period of scheduler-depth telemetry
+// samples (power of two; sampled only when tracing is enabled).
+const schedSampleEvery = 256
+
+// replayState is the mutable state shared by the replay's event
+// handlers. The two ArgHandlers are hoisted here once per replay so
+// the per-event path allocates nothing.
+type replayState struct {
+	r          *Runner
+	src        trace.Source
+	offset     event.Time
+	res        *Result
+	idleTarget float64
+	err        error
+
+	firstArrival event.Time // -1 until the first request is served
+	lastDone     event.Time
+
+	// Open-loop prefetch ring: requests already pulled from src and
+	// scheduled as arrival events (arg = ring slot). head is the slot
+	// of the next arrival to fire; queued counts scheduled arrivals.
+	ring   []trace.Request
+	head   int
+	queued int
+	eof    bool
+	// floor keeps scheduled arrival times nondecreasing even if a
+	// source misbehaves: a clamped arrival still fires in trace order
+	// (FIFO at equal times) and is served with its original timestamp.
+	floor event.Time
+
+	arrive  event.ArgHandler
+	release event.ArgHandler
+	tron    bool // tracer enabled: sample scheduler depth periodically
+}
+
+func (st *replayState) fail(err error) {
+	st.err = err
+	st.r.es.Stop()
+}
+
+// fill tops the prefetch ring back up to arrivalLookahead scheduled
+// arrivals (open-loop mode only).
+func (st *replayState) fill() {
+	for !st.eof && st.queued < len(st.ring) {
+		req, ok := st.src.Next()
+		if !ok {
+			st.eof = true
+			return
+		}
+		req.At += st.offset
+		slot := (st.head + st.queued) % len(st.ring)
+		st.ring[slot] = req
+		at := req.At
+		if at < st.floor {
+			at = st.floor
+		}
+		st.floor = at
+		if err := st.r.es.AtArg(at, st.arrive, uint64(slot)); err != nil {
+			st.fail(fmt.Errorf("sim: replay: %w", err))
+			return
+		}
+		st.queued++
+	}
+}
+
+// onArrive serves one open-loop request at its trace timestamp. The
+// order of operations mirrors the synchronous loop exactly: serve,
+// then the idle-GC window decision against the next arrival, then
+// stats (which read GC state idle GC may have advanced).
+func (st *replayState) onArrive(_ event.Time, arg uint64) {
+	if st.err != nil {
+		return
+	}
+	req := st.ring[arg]
+	st.head = (int(arg) + 1) % len(st.ring)
+	st.queued--
+	// Refill before the idle-GC decision so the next arrival is
+	// visible even when the ring had drained to this one event.
+	st.fill()
+	if st.err != nil {
+		return
+	}
+	done, err := st.r.serveRequest(req)
+	if err != nil {
+		st.fail(fmt.Errorf("sim: replay: %w", err))
+		return
+	}
+	if st.queued > 0 {
+		// Gaps to the next arrival longer than idleGCGap are host idle
+		// periods: background GC reclaims toward idleTarget, staying
+		// idleGCMargin clear of the arrival.
+		nextAt := st.ring[st.head].At
+		if nextAt-req.At > idleGCGap {
+			if err := st.r.f.IdleGC(req.At, nextAt-idleGCMargin, st.idleTarget); err != nil {
+				st.fail(fmt.Errorf("sim: idle gc: %w", err))
+				return
+			}
+		}
+	}
+	st.record(req, done)
+}
+
+// onRelease is one closed-loop issue token firing: the completion it
+// carries (arg, the raw completion time) is now the oldest outstanding
+// one, so the next trace request issues at that time. Serving the
+// request yields a new completion, which recycles the token.
+func (st *replayState) onRelease(now event.Time, arg uint64) {
+	if st.err != nil {
+		return
+	}
+	req, ok := st.src.Next()
+	if !ok {
+		return // trace exhausted; the token dies and the queue drains
+	}
+	req.At = event.Time(arg)
+	done, err := st.r.serveRequest(req)
+	if err != nil {
+		st.fail(fmt.Errorf("sim: replay: %w", err))
+		return
+	}
+	// The token fires when done becomes the minimum outstanding
+	// completion — (time, seq) order reproduces the sorted-window pop
+	// order, stable ties included. The event time is clamped to now
+	// (a fully clipped request can complete at 0); the raw completion
+	// rides in arg so the next request still issues with it.
+	at := done
+	if at < now {
+		at = now
+	}
+	_ = st.r.es.AtArg(at, st.release, uint64(done))
+	st.record(req, done)
+}
+
+// record accounts one served request into the Result — identical
+// bookkeeping, in identical order, to the synchronous loop.
+func (st *replayState) record(req trace.Request, done event.Time) {
+	res := st.res
+	if st.firstArrival < 0 {
+		st.firstArrival = req.At
+		res.Timeline = metrics.NewTimeSeries(10 * event.Millisecond)
+	}
+	if done > st.lastDone {
+		st.lastDone = done
+	}
+	lat := done - req.At
+	if lat < 0 {
+		lat = 0 // zero-page (fully clipped) requests
+	}
+	res.Latency.Record(lat)
+	res.Timeline.Record(req.At-st.firstArrival, lat)
+	if req.At < st.r.f.GCBusyUntil() {
+		res.GCLatency.Record(lat)
+		res.GCRequests++
+	}
+	switch req.Op {
+	case trace.OpRead:
+		res.ReadLatency.Record(lat)
+	case trace.OpWrite:
+		res.WriteLatency.Record(lat)
+	}
+	res.Requests++
+	if st.tron && res.Requests%schedSampleEvery == 0 {
+		st.r.tr.Counter(obs.TrackSched, obs.KSchedDepth, req.At, uint64(st.r.es.Pending()))
+	}
+}
+
+// Replay runs the measured trace. Arrival times in src are shifted by
+// offset (the precondition settle time). The returned Result covers
+// only the measured phase.
+//
+// Open-loop mode (QueueDepth == 0): requests arrive at their trace
+// timestamps; between bursts — whenever the next arrival is more than
+// idleGCGap away — background GC runs, exactly as firmware exploits
+// idle periods; the watermark GC inside the FTL remains the
+// under-pressure fallback.
+//
+// Closed-loop mode (QueueDepth > 0): trace timestamps are ignored; a
+// window of QueueDepth requests is kept outstanding, each new request
+// issuing at the completion time of the oldest outstanding one. Idle
+// GC never runs (a saturating host has no idle periods).
+func (r *Runner) Replay(src trace.Source, offset event.Time, workload string) (*Result, error) {
+	res := &Result{
+		Scheme:   r.cfg.Options.SchemeName(),
+		Workload: workload,
+		Policy:   r.cfg.Options.Policy.Name(),
+	}
+	statsBefore := r.f.Stats()
+	refBefore := r.f.RefDist.Counts()
+
+	st := &replayState{
+		r:            r,
+		src:          src,
+		offset:       offset,
+		res:          res,
+		idleTarget:   r.f.Options().Watermark + idleGCHeadroom,
+		firstArrival: -1,
+		floor:        r.es.Now(),
+		tron:         r.tr.Enabled(),
+	}
+	st.arrive = st.onArrive
+	st.release = st.onRelease
+
+	if qd := r.cfg.QueueDepth; qd > 0 {
+		// Seed one issue token per queue slot, all carrying the issue
+		// time of an initial (not-yet-outstanding) request.
+		at := offset
+		if at < st.floor {
+			at = st.floor
+		}
+		for i := 0; i < qd; i++ {
+			if err := r.es.AtArg(at, st.release, uint64(offset)); err != nil {
+				return nil, fmt.Errorf("sim: replay: %w", err)
+			}
+		}
+	} else {
+		st.ring = make([]trace.Request, arrivalLookahead)
+		st.fill()
+	}
+	r.es.Run()
+	if st.err != nil {
+		return nil, st.err
+	}
+
+	// Drain the write buffer so every accepted write is durable and
+	// accounted before the stats snapshot.
+	if r.buf != nil {
+		done, err := r.buf.Flush(st.lastDone)
+		if err != nil {
+			return nil, fmt.Errorf("sim: draining buffer: %w", err)
+		}
+		if done > st.lastDone {
+			st.lastDone = done
+		}
+		res.Buffer = r.buf.Stats()
+	}
+
+	statsAfter := r.f.Stats()
+	res.FTL = subStats(statsAfter, statsBefore)
+	refAfter := r.f.RefDist.Counts()
+	for i := range res.RefDist {
+		res.RefDist[i] = refAfter[i] - refBefore[i]
+	}
+	if st.firstArrival < 0 {
+		st.firstArrival = 0
+	}
+	res.Duration = st.lastDone - st.firstArrival
+	res.EraseSpread = r.dev.EraseSpread()
+	res.FreeFraction = r.f.FreeBlockFraction()
+	res.Regions = r.f.RegionStats()
+	if st.tron {
+		// Close the occupancy track with the run's cumulative totals.
+		ss := r.es.SchedStats()
+		r.tr.Counter(obs.TrackSched, obs.KSchedDepth, st.lastDone, uint64(r.es.Pending()))
+		r.tr.Counter(obs.TrackSched, obs.KSchedRotations, st.lastDone, ss.Rotations)
+		r.tr.Counter(obs.TrackSched, obs.KSchedOverflow, st.lastDone, ss.OverflowMigrations)
+		r.tr.Counter(obs.TrackSched, obs.KSchedStale, st.lastDone, ss.StaleSkipped)
+	}
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"cagc/internal/event"
+	"cagc/internal/ftl"
+	"cagc/internal/trace"
+)
+
+// TestReplaySchedulerEquivalence: the full simulation must produce a
+// deeply equal Result whichever scheduler drives the replay — the
+// in-process form of the CLI byte-identity contract, across open-loop,
+// closed-loop, and buffered configurations.
+func TestReplaySchedulerEquivalence(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"open-loop", func(*Config) {}},
+		{"closed-loop", func(c *Config) { c.QueueDepth = 8 }},
+		{"buffered", func(c *Config) { c.BufferPages = 32 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			cfg := smallConfig(ftl.CAGCOptions())
+			v.mut(&cfg)
+			spec := specFor(t, cfg, trace.Mail, 3000)
+
+			cal := cfg
+			cal.Sched = event.SchedCalendar
+			resCal, err := Run(cal, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hp := cfg
+			hp.Sched = event.SchedHeap
+			resHeap, err := Run(hp, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resCal, resHeap) {
+				t.Errorf("results diverge between schedulers:\ncalendar: %+v\nheap:     %+v", resCal, resHeap)
+			}
+		})
+	}
+}
+
+// TestWarmSnapshotServesBothSchedulers: one snapshot may serve runs
+// under either scheduler (Sched is excluded from warm-state identity),
+// and a warm run equals the cold run whichever scheduler is picked.
+func TestWarmSnapshotServesBothSchedulers(t *testing.T) {
+	cfg := smallConfig(ftl.InlineDedupeOptions())
+	spec := specFor(t, cfg, trace.Homes, 2000)
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []event.SchedKind{event.SchedCalendar, event.SchedHeap} {
+		wcfg := cfg
+		wcfg.Sched = kind
+		warm, err := RunWarm(snap, wcfg, spec)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if !reflect.DeepEqual(cold, warm) {
+			t.Errorf("%v: warm result diverges from cold run", kind)
+		}
+	}
+}

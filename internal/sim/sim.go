@@ -58,6 +58,12 @@ type Config struct {
 	// and the field is excluded from warm-state snapshot identity: a
 	// traced run may be served from a snapshot built by an untraced one.
 	Tracer obs.Tracer
+	// Sched selects the event-scheduler implementation driving the
+	// replay. The zero value is the calendar queue (the default); both
+	// schedulers produce byte-identical results — the knob exists for
+	// differential testing and performance comparison. Excluded from
+	// warm-state snapshot identity, like Tracer.
+	Sched event.SchedKind
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +158,7 @@ type Runner struct {
 	f   *ftl.FTL
 	buf *buffer.WriteBuffer // nil unless BufferPages > 0
 	tr  obs.Tracer          // never nil; obs.Nop when tracing is off
+	es  *event.Sim          // drives arrival/issue events during Replay
 }
 
 // LogicalPagesOf returns the logical address-space size a runner built
@@ -174,7 +181,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{cfg: cfg, dev: dev, f: f}
+	// The calendar's bucket width is sized from the device's read
+	// latency — the smallest latency that separates events.
+	r := &Runner{cfg: cfg, dev: dev, f: f,
+		es: event.NewSimOpts(cfg.Sched, cfg.Device.Latencies.Read)}
 	if cfg.BufferPages > 0 {
 		if r.buf, err = buffer.New(f, cfg.BufferPages); err != nil {
 			return nil, err
@@ -288,134 +298,6 @@ const (
 	idleGCMargin   = 1 * event.Millisecond
 	idleGCHeadroom = 0.05
 )
-
-// Replay runs the measured trace. Arrival times in src are shifted by
-// offset (the precondition settle time). The returned Result covers
-// only the measured phase.
-//
-// Open-loop mode (QueueDepth == 0): requests arrive at their trace
-// timestamps; between bursts — whenever the next arrival is more than
-// idleGCGap away — background GC runs, exactly as firmware exploits
-// idle periods; the watermark GC inside the FTL remains the
-// under-pressure fallback.
-//
-// Closed-loop mode (QueueDepth > 0): trace timestamps are ignored; a
-// window of QueueDepth requests is kept outstanding, each new request
-// issuing at the completion time of the oldest outstanding one. Idle
-// GC never runs (a saturating host has no idle periods).
-func (r *Runner) Replay(src trace.Source, offset event.Time, workload string) (*Result, error) {
-	res := &Result{
-		Scheme:   r.cfg.Options.SchemeName(),
-		Workload: workload,
-		Policy:   r.cfg.Options.Policy.Name(),
-	}
-	statsBefore := r.f.Stats()
-	refBefore := r.f.RefDist.Counts()
-	idleTarget := r.f.Options().Watermark + idleGCHeadroom
-
-	var firstArrival event.Time = -1
-	var lastDone event.Time
-	// Closed-loop window of outstanding completion times, kept sorted
-	// ascending in a fixed ring of QueueDepth slots: the oldest
-	// completion pops from head, each new one insertion-sorts in from
-	// the tail (the window is tiny). A ring, rather than a slice that
-	// reslices its front away, keeps the replay loop allocation-free.
-	var (
-		window     []event.Time
-		head, live int
-	)
-	if qd := r.cfg.QueueDepth; qd > 0 {
-		window = make([]event.Time, qd)
-	}
-	next, have := src.Next()
-	for have {
-		req := next
-		next, have = src.Next()
-		if qd := r.cfg.QueueDepth; qd > 0 {
-			req.At = offset
-			if live >= qd {
-				req.At = window[head]
-				head = (head + 1) % qd
-				live--
-			}
-		} else {
-			req.At += offset
-		}
-		if firstArrival < 0 {
-			firstArrival = req.At
-			res.Timeline = metrics.NewTimeSeries(10 * event.Millisecond)
-		}
-		done, err := r.serveRequest(req)
-		if err != nil {
-			return nil, fmt.Errorf("sim: replay: %w", err)
-		}
-		if done > lastDone {
-			lastDone = done
-		}
-		if qd := r.cfg.QueueDepth; qd > 0 {
-			// Shift later completions up, then drop done into place.
-			i := live
-			for i > 0 && window[(head+i-1)%qd] > done {
-				window[(head+i)%qd] = window[(head+i-1)%qd]
-				i--
-			}
-			window[(head+i)%qd] = done
-			live++
-		} else if have {
-			nextAt := next.At + offset
-			if nextAt-req.At > idleGCGap {
-				if err := r.f.IdleGC(req.At, nextAt-idleGCMargin, idleTarget); err != nil {
-					return nil, fmt.Errorf("sim: idle gc: %w", err)
-				}
-			}
-		}
-		lat := done - req.At
-		if lat < 0 {
-			lat = 0 // zero-page (fully clipped) requests
-		}
-		res.Latency.Record(lat)
-		res.Timeline.Record(req.At-firstArrival, lat)
-		if req.At < r.f.GCBusyUntil() {
-			res.GCLatency.Record(lat)
-			res.GCRequests++
-		}
-		switch req.Op {
-		case trace.OpRead:
-			res.ReadLatency.Record(lat)
-		case trace.OpWrite:
-			res.WriteLatency.Record(lat)
-		}
-		res.Requests++
-	}
-
-	// Drain the write buffer so every accepted write is durable and
-	// accounted before the stats snapshot.
-	if r.buf != nil {
-		done, err := r.buf.Flush(lastDone)
-		if err != nil {
-			return nil, fmt.Errorf("sim: draining buffer: %w", err)
-		}
-		if done > lastDone {
-			lastDone = done
-		}
-		res.Buffer = r.buf.Stats()
-	}
-
-	statsAfter := r.f.Stats()
-	res.FTL = subStats(statsAfter, statsBefore)
-	refAfter := r.f.RefDist.Counts()
-	for i := range res.RefDist {
-		res.RefDist[i] = refAfter[i] - refBefore[i]
-	}
-	if firstArrival < 0 {
-		firstArrival = 0
-	}
-	res.Duration = lastDone - firstArrival
-	res.EraseSpread = r.dev.EraseSpread()
-	res.FreeFraction = r.f.FreeBlockFraction()
-	res.Regions = r.f.RegionStats()
-	return res, nil
-}
 
 // Run is the one-call entry point: build, precondition, replay.
 func Run(cfg Config, spec trace.Spec) (*Result, error) {

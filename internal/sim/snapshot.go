@@ -30,7 +30,7 @@ type Snapshot struct {
 // bit-identity contract.
 func (r *Runner) Clone() *Runner {
 	dev := r.dev.Clone()
-	c := &Runner{cfg: r.cfg, dev: dev, f: r.f.Clone(dev), tr: r.tr}
+	c := &Runner{cfg: r.cfg, dev: dev, f: r.f.Clone(dev), tr: r.tr, es: r.es.Clone()}
 	if r.buf != nil {
 		c.buf = r.buf.Clone(c.f)
 	}
@@ -89,6 +89,10 @@ func (s *Snapshot) NewRunner(cfg Config) (*Runner, error) {
 	r := s.master.Clone()
 	r.cfg = cfg
 	r.SetTracer(cfg.Tracer)
+	// The scheduler is replay-only state (the master preconditions
+	// synchronously, so its scheduler is pristine): rebuild it to the
+	// requested kind rather than inheriting the snapshot's.
+	r.es = event.NewSimOpts(cfg.Sched, cfg.Device.Latencies.Read)
 	return r, nil
 }
 
@@ -98,8 +102,10 @@ func (s *Snapshot) compatible(cfg Config) error {
 	a, b := s.cfg, cfg
 	a.QueueDepth, b.QueueDepth = 0, 0
 	// Tracing is observational; a snapshot serves traced and untraced
-	// runs alike.
+	// runs alike. The scheduler kind only changes replay mechanics, not
+	// results, so a snapshot serves both schedulers too.
 	a.Tracer, b.Tracer = nil, nil
+	a.Sched, b.Sched = 0, 0
 	an, bn := "", ""
 	if a.Options.Policy != nil {
 		an = a.Options.Policy.Name()

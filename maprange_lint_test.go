@@ -29,6 +29,7 @@ import (
 
 var mapRangeLintedPackages = []string{
 	"internal/dedup",
+	"internal/event",
 	"internal/flash",
 	"internal/ftl",
 	"internal/obs",

@@ -10,10 +10,14 @@ package cagc
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // forEach runs task(0..n-1) on up to GOMAXPROCS goroutines and returns
 // the first error (by index order, so failures are deterministic too).
+// Dispatch stops at the first failure: indices not yet handed to a
+// worker when a task errors are never run — a sweep with a broken
+// configuration fails in one run's time, not n's.
 func forEach(n int, task func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -28,6 +32,7 @@ func forEach(n int, task func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -35,11 +40,14 @@ func forEach(n int, task func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = task(i)
+				if err := task(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !failed.Load(); i++ {
 		next <- i
 	}
 	close(next)

@@ -64,6 +64,14 @@ type SubstrateBench struct {
 	// regime where sweeps actually run.
 	Sweep SweepBench `json:"sweep"`
 
+	// History is the PR-over-PR trajectory: the numbers each earlier
+	// performance PR committed (pinned in substrateHistory, mined from
+	// this repository's own BENCH_substrate.json history), followed by
+	// the rows this measurement just produced. Machines differ, so rows
+	// are comparable within one machine's history, not across CI fleets;
+	// the shape of the curve is what the table preserves.
+	History []HistoryRow `json:"history"`
+
 	GoVersion string `json:"go_version"`
 	GoArch    string `json:"go_arch"`
 }
@@ -93,6 +101,37 @@ type SweepBench struct {
 	CacheHits   uint64  `json:"cache_hits"`   // hits during the warm sweep
 	CacheMisses uint64  `json:"cache_misses"` // misses during the warm sweep
 }
+
+// HistoryRow is one (PR, workload) point of the substrate trajectory:
+// wall time, allocation count, and event throughput of a full cold run
+// at the canonical benchmark scale (-requests 6000, 16 MiB device).
+type HistoryRow struct {
+	PR           string  `json:"pr"`     // e.g. "PR 5"
+	Change       string  `json:"change"` // the PR's headline substrate change
+	Workload     string  `json:"workload"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// substrateHistory pins the numbers earlier performance PRs recorded in
+// BENCH_substrate.json (recovered from git history; PRs 1–2 measured
+// only the Mail headline, PR 3–4's file carried all three workloads).
+// Appended verbatim to every new report so the trajectory survives the
+// file being rewritten.
+var substrateHistory = []HistoryRow{
+	{PR: "PR 1", Change: "allocation-free hot simulation loop", Workload: "Mail", NsPerOp: 6055137, AllocsPerOp: 7123, EventsPerSec: 8.95e6},
+	{PR: "PR 2", Change: "warm-state snapshot cache", Workload: "Mail", NsPerOp: 6573805, AllocsPerOp: 6945, EventsPerSec: 8.24e6},
+	{PR: "PR 3-4", Change: "open-addressed hot-path tables; tracing kept allocation-free", Workload: "Mail", NsPerOp: 6531607, AllocsPerOp: 293, EventsPerSec: 8297192},
+	{PR: "PR 3-4", Change: "open-addressed hot-path tables; tracing kept allocation-free", Workload: "Homes", NsPerOp: 8350132, AllocsPerOp: 295, EventsPerSec: 8074483},
+	{PR: "PR 3-4", Change: "open-addressed hot-path tables; tracing kept allocation-free", Workload: "Web-vm", NsPerOp: 17652755, AllocsPerOp: 306, EventsPerSec: 9620934},
+}
+
+// currentHistoryLabel names the rows this measurement contributes.
+const (
+	currentHistoryPR     = "PR 5"
+	currentHistoryChange = "calendar-queue event scheduler, event-driven replay"
+)
 
 // simulatedEvents tallies the discrete operations the substrate
 // processed during the measured phase of a run.
@@ -147,6 +186,17 @@ func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*Substrate
 	}
 	if sb.Sweep, err = measureSweep(w, s, policy, p); err != nil {
 		return nil, err
+	}
+	sb.History = append(sb.History, substrateHistory...)
+	for _, row := range sb.Workloads {
+		sb.History = append(sb.History, HistoryRow{
+			PR:           currentHistoryPR,
+			Change:       currentHistoryChange,
+			Workload:     row.Workload,
+			NsPerOp:      row.NsPerOp,
+			AllocsPerOp:  row.AllocsPerOp,
+			EventsPerSec: row.EventsPerSec,
+		})
 	}
 	return sb, nil
 }

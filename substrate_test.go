@@ -42,6 +42,16 @@ func TestMeasureSubstrateReport(t *testing.T) {
 		}
 	}
 
+	if want := len(substrateHistory) + len(Workloads); len(sb.History) != want {
+		t.Fatalf("history has %d rows, want %d (pinned PRs + one current row per workload)",
+			len(sb.History), want)
+	}
+	for _, row := range sb.History[len(substrateHistory):] {
+		if row.PR != currentHistoryPR || row.NsPerOp <= 0 {
+			t.Fatalf("current history row not filled from this measurement: %+v", row)
+		}
+	}
+
 	path := filepath.Join(t.TempDir(), "BENCH_substrate.json")
 	if err := WriteBenchFile(path, sb); err != nil {
 		t.Fatal(err)
