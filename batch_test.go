@@ -1,0 +1,112 @@
+package cagc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// batchItems builds a mixed sweep: every scheme × three seeds on one
+// workload — three warm keys, nine runs, the shape RunBatch exists for.
+func batchItems() []BatchItem {
+	p := Params{DeviceBytes: 16 << 20, Requests: 1500, Seed: 1}
+	var items []BatchItem
+	for _, s := range Schemes {
+		items = append(items, SeedBatch(Mail, s, "greedy", p, []int64{1, 2, 3})...)
+	}
+	return items
+}
+
+// The determinism contract of the batched engine: per-run output is
+// byte-identical to a serial Run loop at every worker count —
+// reflect.DeepEqual on the Results and byte-equal summary JSON.
+func TestRunBatchByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	items := batchItems()
+	serial := make([]*Result, len(items))
+	for i, it := range items {
+		res, err := Run(it.Workload, it.Scheme, it.Policy, it.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = res
+	}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			b := RunBatch(items, workers)
+			if err := b.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if b.Completed() != len(items) || b.Failed() != 0 || b.Skipped() != 0 {
+				t.Fatalf("accounting: %d/%d/%d of %d", b.Completed(), b.Failed(), b.Skipped(), len(items))
+			}
+			if b.Events == 0 || b.AggregateEventsPerSec() <= 0 {
+				t.Fatalf("aggregate metric empty: events=%d agg=%g", b.Events, b.AggregateEventsPerSec())
+			}
+			for i := range items {
+				if !reflect.DeepEqual(serial[i], b.Results[i]) {
+					t.Fatalf("run %d diverged from serial at %d workers", i, workers)
+				}
+				var sj, bj bytes.Buffer
+				if err := WriteJSON(&sj, serial[i]); err != nil {
+					t.Fatal(err)
+				}
+				if err := WriteJSON(&bj, b.Results[i]); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(sj.Bytes(), bj.Bytes()) {
+					t.Fatalf("run %d summary JSON differs from serial at %d workers", i, workers)
+				}
+			}
+		})
+	}
+}
+
+// A batch with one broken item reports the failure at its own index,
+// keeps every completed result, and marks undispatched slots ErrNotRun.
+func TestRunBatchPerRunErrors(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	p := Params{DeviceBytes: 16 << 20, Requests: 1000, Seed: 1}
+	items := SeedBatch(Homes, Baseline, "greedy", p, []int64{1, 2, 3, 4})
+	items[1].Policy = "no-such-policy"
+	b := RunBatch(items, 1)
+	if b.Err() == nil {
+		t.Fatal("Err() = nil, want the broken item's failure")
+	}
+	if b.Errs[0] != nil || b.Results[0] == nil {
+		t.Errorf("item 0 should have completed: err=%v", b.Errs[0])
+	}
+	if b.Errs[1] == nil || errors.Is(b.Errs[1], ErrNotRun) {
+		t.Errorf("errs[1] = %v, want the item's own failure", b.Errs[1])
+	}
+	for i := 2; i < len(items); i++ {
+		if !errors.Is(b.Errs[i], ErrNotRun) {
+			t.Errorf("errs[%d] = %v, want ErrNotRun", i, b.Errs[i])
+		}
+	}
+	if b.Completed() != 1 || b.Failed() != 1 || b.Skipped() != 2 {
+		t.Errorf("accounting %d/%d/%d, want 1/1/2", b.Completed(), b.Failed(), b.Skipped())
+	}
+}
+
+// SeedBatch items share one warm snapshot per scheme; the batch's cache
+// behavior must match a hand-rolled sweep (one miss per key, hits for
+// the rest).
+func TestRunBatchSharesWarmSnapshots(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	p := Params{DeviceBytes: 16 << 20, Requests: 1000, Seed: 1}
+	b := RunBatch(SeedBatch(Mail, CAGC, "greedy", p, []int64{1, 2, 3, 4}), 2)
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := WarmCacheStats()
+	if st.Misses != 1 || st.Hits != 3 || st.Snapshots != 1 {
+		t.Fatalf("4-seed batch should share one snapshot: %+v", st)
+	}
+}

@@ -15,6 +15,7 @@ package cagc
 // is BenchmarkSubstrateSingleRun below.
 
 import (
+	"runtime"
 	"strconv"
 	"testing"
 )
@@ -235,6 +236,40 @@ func BenchmarkSubstrateWarmRun(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSubstrateBatch times the batched engine's unit of work — an
+// 8-seed warm sweep on NumCPU workers — and reports the aggregate
+// events/sec-per-machine headline alongside the per-run numbers. The
+// serial variant is the same sweep on one worker, so the pair exposes
+// the parallel speedup on the measuring machine.
+func BenchmarkSubstrateBatch(b *testing.B) {
+	benchSubstrateBatch(b, runtime.NumCPU())
+}
+
+func BenchmarkSubstrateBatchSerial(b *testing.B) {
+	benchSubstrateBatch(b, 1)
+}
+
+func benchSubstrateBatch(b *testing.B, workers int) {
+	b.Helper()
+	p := benchParams()
+	p.Requests = 1000
+	items := SeedBatch(Mail, CAGC, "greedy", p, []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	if warm := RunBatch(items, 1); warm.Err() != nil {
+		b.Fatal(warm.Err()) // populate the snapshot cache outside the timer
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *BatchResult
+	for i := 0; i < b.N; i++ {
+		last = RunBatch(items, workers)
+		if err := last.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.AggregateEventsPerSec(), "agg-events/s")
+	b.ReportMetric(last.AggregateEventsPerSec()/float64(last.Workers), "agg-events/s/worker")
 }
 
 func BenchmarkAblateWriteBuffer(b *testing.B) {

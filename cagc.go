@@ -117,10 +117,11 @@ type Params struct {
 	// with ColdStart to also trace the preconditioning fill.
 	Trace Tracer
 	// Sched names the event-scheduler implementation driving the
-	// replay: "calendar" (default, also the empty string) or "heap"
-	// (the reference implementation). Results are byte-identical
-	// either way; the knob exists for differential testing and
-	// performance comparison.
+	// replay: "auto" (default, also the empty string; heap below the
+	// occupancy threshold, calendar above), "calendar", or "heap" (the
+	// reference implementation). Results are byte-identical regardless;
+	// the knob exists for differential testing and performance
+	// comparison.
 	Sched string
 }
 

@@ -8,6 +8,7 @@
 //	cagcsim -workload Mail -scheme cagc -policy greedy
 //	cagcsim -workload Web-vm -scheme baseline -device 134217728 -requests 50000
 //	cagcsim -trace out.json -trace-summary
+//	cagcsim -batch 32 -workers 8
 //	cagcsim -bench -benchout BENCH_substrate.json
 //	cagcsim -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"cagc"
 	"cagc/internal/profiling"
@@ -40,7 +42,7 @@ func run() (retErr error) {
 		util     = flag.Float64("util", 0.55, "logical space as a fraction of user capacity")
 		thresh   = flag.Int("threshold", 1, "CAGC hot/cold reference-count threshold")
 		qd       = flag.Int("qd", 0, "closed-loop queue depth (0 = open-loop trace replay)")
-		sched    = flag.String("sched", "calendar", "event scheduler: calendar or heap (byte-identical results)")
+		sched    = flag.String("sched", "auto", "event scheduler: auto, calendar, or heap (byte-identical results)")
 		bufPages = flag.Int("buffer", 0, "controller write-buffer pages (0 = none)")
 		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of the text report")
 
@@ -49,6 +51,9 @@ func run() (retErr error) {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in chrome://tracing or Perfetto)")
 		traceSum  = flag.Bool("trace-summary", false, "print the trace summary (per-phase GC attribution, fingerprint/erase overlap, latency percentiles) to stderr")
 		traceLast = flag.Int("trace-last", 0, "flight-recorder mode: keep only the last N trace events (0 = unbounded)")
+
+		batch   = flag.Int("batch", 0, "run a batch of N seed-varied runs (seeds seed..seed+N-1) and print the aggregate throughput report")
+		workers = flag.Int("workers", 0, "worker goroutines for -batch (0 = one per core)")
 
 		bench    = flag.Bool("bench", false, "measure substrate throughput (events/sec, ns/op, allocs/op) instead of printing a report")
 		benchOut = flag.String("benchout", "BENCH_substrate.json", "file the -bench report is written to ('' = stdout only)")
@@ -78,8 +83,8 @@ func run() (retErr error) {
 	}
 
 	tracing := *traceOut != "" || *traceSum || *traceLast > 0
-	if tracing && *bench {
-		return fmt.Errorf("-trace/-trace-summary/-trace-last cannot be combined with -bench (the harness times many runs; trace one)")
+	if tracing && (*bench || *batch > 0) {
+		return fmt.Errorf("-trace/-trace-summary/-trace-last cannot be combined with -bench or -batch (the harness times many runs; trace one)")
 	}
 	if *traceLast > 0 && *traceOut == "" && !*traceSum {
 		return fmt.Errorf("-trace-last needs -trace or -trace-summary to report into")
@@ -118,6 +123,37 @@ func run() (retErr error) {
 			}
 			fmt.Fprintln(os.Stderr, "cagcsim: wrote", *benchOut)
 		}
+		return nil
+	}
+
+	if *batch > 0 {
+		seeds := make([]int64, *batch)
+		for i := range seeds {
+			seeds[i] = *seed + int64(i)
+		}
+		b := cagc.RunBatch(cagc.SeedBatch(w, s, *policy, p, seeds), *workers)
+		reportCache()
+		if err := b.Err(); err != nil {
+			return fmt.Errorf("batch: %d completed, %d failed, %d skipped; first failure: %w",
+				b.Completed(), b.Failed(), b.Skipped(), err)
+		}
+		if *asJSON {
+			// One JSON document per run, in seed order: deterministic at
+			// any worker count (the aggregate report carries wall-clock,
+			// so it goes to stderr here).
+			for _, res := range b.Results {
+				if err := cagc.WriteJSON(os.Stdout, res); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintf(os.Stderr, "batch: %d runs, %d workers, wall %v, aggregate %.0f events/s\n",
+				*batch, b.Workers, b.Wall.Round(time.Millisecond), b.AggregateEventsPerSec())
+			return nil
+		}
+		fmt.Printf("batch: %d runs x %s x %s x %s, %d workers\n", *batch, w, s, *policy, b.Workers)
+		fmt.Printf("wall %v  events %d  aggregate %.0f events/s  (%.0f events/s/worker)\n",
+			b.Wall.Round(time.Millisecond), b.Events,
+			b.AggregateEventsPerSec(), b.AggregateEventsPerSec()/float64(b.Workers))
 		return nil
 	}
 
@@ -174,8 +210,8 @@ func reportCache() {
 	if st.Hits+st.Misses == 0 {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "cagcsim: warm-state cache: %d hits, %d misses, %d snapshots\n",
-		st.Hits, st.Misses, st.Snapshots)
+	fmt.Fprintf(os.Stderr, "cagcsim: warm-state cache: %d hits, %d misses, %d evictions, %d/%d snapshots\n",
+		st.Hits, st.Misses, st.Evictions, st.Snapshots, st.Capacity)
 }
 
 func findWorkload(name string) (cagc.Workload, error) {

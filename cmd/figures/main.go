@@ -39,7 +39,7 @@ func run() (retErr error) {
 		seed      = flag.Int64("seed", 1, "workload seed")
 		util      = flag.Float64("util", 0.55, "logical space as a fraction of user capacity")
 		cold      = flag.Bool("coldstart", false, "bypass the warm-state snapshot cache (build and precondition every run from scratch)")
-		sched     = flag.String("sched", "calendar", "event scheduler: calendar or heap (byte-identical results)")
+		sched     = flag.String("sched", "auto", "event scheduler: auto, calendar, or heap (byte-identical results)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of all runs to this file (load in chrome://tracing or Perfetto)")
 		traceSum  = flag.Bool("trace-summary", false, "print the trace summary (per-phase GC attribution, fingerprint/erase overlap, latency percentiles) to stderr")
 		traceLast = flag.Int("trace-last", 0, "flight-recorder mode: keep only the last N trace events (0 = unbounded)")
@@ -78,8 +78,8 @@ func run() (retErr error) {
 	defer func() {
 		st := cagc.WarmCacheStats()
 		if st.Hits+st.Misses > 0 {
-			fmt.Fprintf(os.Stderr, "figures: warm-state cache: %d hits, %d misses, %d snapshots\n",
-				st.Hits, st.Misses, st.Snapshots)
+			fmt.Fprintf(os.Stderr, "figures: warm-state cache: %d hits, %d misses, %d evictions, %d/%d snapshots\n",
+				st.Hits, st.Misses, st.Evictions, st.Snapshots, st.Capacity)
 		}
 	}()
 

@@ -49,7 +49,7 @@ func BenchmarkPoolReserve(b *testing.B) {
 }
 
 // schedKinds for the scheduler microbenchmarks.
-var schedKinds = []SchedKind{SchedCalendar, SchedHeap}
+var schedKinds = []SchedKind{SchedAuto, SchedCalendar, SchedHeap}
 
 // BenchmarkSchedInsertPop measures the steady-state schedule+fire
 // cycle against a warm queue at realistic depth (64 in flight).

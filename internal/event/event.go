@@ -7,12 +7,14 @@
 // monotonically increasing sequence number), so simulations are fully
 // deterministic and independent of map iteration or scheduling jitter.
 //
-// Two queue implementations sit behind the same Sim API (see sched.go):
-// the default calendar queue — power-of-two time buckets with an
-// overflow ladder, O(1) amortized for the bounded, quantized NAND
-// timing this simulator generates — and the reference value-typed 4-ary
-// min-heap (SchedHeap). Both produce the identical (time, seq) firing
-// order. Steady-state scheduling — a bounded queue fed through At/After
+// Three queue implementations sit behind the same Sim API (see
+// sched.go): the default auto scheduler (SchedAuto) — the reference
+// heap while occupancy stays shallow, escalating to the calendar when
+// the queue gets deep — plus the two it composes, pinnable directly:
+// the calendar queue (power-of-two time buckets with an overflow
+// ladder, O(1) amortized for the bounded, quantized NAND timing this
+// simulator generates) and the reference value-typed 4-ary min-heap
+// (SchedHeap). All produce the identical (time, seq) firing order. Steady-state scheduling — a bounded queue fed through At/After
 // or the reusable-handler AtArg/AfterArg path, with or without
 // cancelable handles — performs zero allocations per event.
 package event
@@ -116,24 +118,28 @@ type Sim struct {
 }
 
 // NewSim returns a simulation whose clock starts at zero, using the
-// default calendar-queue scheduler with the default bucket width.
+// default auto scheduler (heap below the occupancy threshold, calendar
+// above) with the default bucket width.
 func NewSim() *Sim {
-	return NewSimOpts(SchedCalendar, 0)
+	return NewSimOpts(SchedAuto, 0)
 }
 
 // NewSimOpts returns a simulation using the given scheduler.
 // bucketWidth sizes the calendar buckets — pass the device's smallest
 // meaningful latency (e.g. the NAND read latency); it is rounded up to
 // a power of two. Zero or negative means the default (2^14 ns ≈ 16 µs,
-// the Table-I read latency rounded up). The heap ignores it.
+// the Table-I read latency rounded up). The heap ignores it; the auto
+// scheduler keeps it for the calendar it may escalate to.
 func NewSimOpts(kind SchedKind, bucketWidth Time) *Sim {
 	s := &Sim{kind: kind}
 	switch kind {
 	case SchedHeap:
 		s.q = &heapQ{}
-	default:
-		s.kind = SchedCalendar
+	case SchedCalendar:
 		s.q = newCalendar(bucketWidth)
+	default:
+		s.kind = SchedAuto
+		s.q = &hybridQ{widthHint: bucketWidth}
 	}
 	s.staleFn = s.itemStale
 	return s

@@ -28,18 +28,30 @@ import (
 type SchedKind uint8
 
 const (
-	// SchedCalendar is the default: power-of-two time buckets sized from
-	// the device latency table, with an overflow ladder for far-future
-	// events.
-	SchedCalendar SchedKind = iota
-	// SchedHeap is the reference 4-ary min-heap implementation, kept for
-	// differential testing and as the -sched=heap CLI fallback.
+	// SchedAuto is the default: a hybrid that runs on the reference
+	// 4-ary heap while queue occupancy stays at or below
+	// hybridThreshold and escalates to the calendar when the queue gets
+	// deep. Shallow replays (open-loop traces keep only a couple of
+	// arrivals pending) see pure heap cost; deep ones (closed-loop
+	// windows, timer-heavy scenarios) get the calendar's O(1) buckets.
+	// The selection is per-queue-state, so one workload can use both
+	// regimes in one run. All three kinds pop in the identical
+	// (time, seq) order, so output is byte-identical regardless.
+	SchedAuto SchedKind = iota
+	// SchedCalendar pins the calendar queue: power-of-two time buckets
+	// sized from the device latency table, with an overflow ladder for
+	// far-future events.
+	SchedCalendar
+	// SchedHeap pins the reference 4-ary min-heap implementation, kept
+	// for differential testing and as the -sched=heap CLI fallback.
 	SchedHeap
 )
 
 // String returns the CLI name of the scheduler kind.
 func (k SchedKind) String() string {
 	switch k {
+	case SchedAuto:
+		return "auto"
 	case SchedCalendar:
 		return "calendar"
 	case SchedHeap:
@@ -49,15 +61,17 @@ func (k SchedKind) String() string {
 }
 
 // ParseSched resolves a -sched CLI name. The empty string means the
-// default (calendar).
+// default (auto: heap below the occupancy threshold, calendar above).
 func ParseSched(name string) (SchedKind, error) {
 	switch name {
-	case "", "calendar":
+	case "", "auto":
+		return SchedAuto, nil
+	case "calendar":
 		return SchedCalendar, nil
 	case "heap":
 		return SchedHeap, nil
 	}
-	return 0, fmt.Errorf("event: unknown scheduler %q (want calendar or heap)", name)
+	return 0, fmt.Errorf("event: unknown scheduler %q (want auto, calendar, or heap)", name)
 }
 
 // SchedStats is a snapshot of scheduler occupancy and lazy-cancel
@@ -70,6 +84,7 @@ type SchedStats struct {
 
 	Rotations          uint64 // calendar window rotations
 	OverflowMigrations uint64 // items moved ladder -> buckets
+	Escalations        uint64 // hybrid heap -> calendar switches (SchedAuto only)
 	Cancels            uint64 // Cancel calls that took effect
 	Reschedules        uint64 // Reschedule calls that took effect
 	StaleSkipped       uint64 // canceled/rescheduled items absorbed at pop
@@ -199,6 +214,112 @@ func (h *heapQ) size() int { return len(h.q) }
 func (h *heapQ) clone() queue { return &heapQ{q: slices.Clone(h.q)} }
 
 func (h *heapQ) occupancy() (uint64, uint64) { return 0, 0 }
+
+// hybridThreshold is the occupancy at which the auto scheduler
+// escalates from the heap to the calendar. The open-loop replay keeps
+// only arrivalLookahead (2) arrivals pending and closed-loop runs keep
+// QueueDepth tokens, so anything past a few dozen means a genuinely
+// deep queue — timer-heavy scenarios or saturation windows — where the
+// calendar's O(1) buckets beat the heap's O(log n) sift (the deep-queue
+// microbenchmark puts the crossover far below this). A var, not a
+// const, so tests can force escalation with small queues.
+var hybridThreshold = 64
+
+// hybridQ is the SchedAuto implementation: a plain 4-ary heap while the
+// queue stays at or below hybridThreshold items, escalating to a
+// calendar when it grows past it. While escalated, every item lives in
+// the calendar (the heap is drained into it in one pass); when the
+// calendar runs dry the queue drops back to the heap. Both underlying
+// queues pop in strict (at, seq) order and the escalation migration
+// preserves every item, so the pop sequence is identical to either pure
+// implementation.
+type hybridQ struct {
+	heap heapQ
+	cal  *calendar // lazily built on first escalation, then reused
+	deep bool      // true while the calendar holds the queue
+
+	widthHint   Time // bucket sizing for the lazily built calendar
+	escalations uint64
+}
+
+func (h *hybridQ) push(it item, now Time) {
+	if !h.deep && h.heap.size() >= hybridThreshold {
+		h.escalate(now)
+	}
+	if h.deep {
+		h.cal.push(it, now)
+		return
+	}
+	h.heap.push(it, now)
+}
+
+// escalate drains the heap into the calendar. Heap pops come out in
+// (at, seq) order, so calendar inserts hit the append fast path; every
+// queued item satisfies at >= now (schedule enforces it and the clock
+// only advances to popped times), so re-basing the empty calendar on
+// now is safe exactly as in calendar.push.
+func (h *hybridQ) escalate(now Time) {
+	if h.cal == nil {
+		h.cal = newCalendar(h.widthHint)
+	}
+	for {
+		it, ok := h.heap.pop()
+		if !ok {
+			break
+		}
+		h.cal.push(it, now)
+	}
+	h.deep = true
+	h.escalations++
+}
+
+func (h *hybridQ) pop() (item, bool) {
+	if h.deep {
+		it, ok := h.cal.pop()
+		if h.cal.size() == 0 {
+			// Drained: revert to the heap (free — both sides are empty).
+			// Escalation only re-arms once the queue rebuilds past the
+			// threshold, so a queue oscillating near it cannot thrash.
+			h.deep = false
+		}
+		return it, ok
+	}
+	return h.heap.pop()
+}
+
+func (h *hybridQ) peekLive(stale func(*item) bool) (Time, bool) {
+	if h.deep {
+		return h.cal.peekLive(stale)
+	}
+	return h.heap.peekLive(stale)
+}
+
+func (h *hybridQ) size() int {
+	if h.deep {
+		return h.cal.size()
+	}
+	return h.heap.size()
+}
+
+func (h *hybridQ) clone() queue {
+	c := &hybridQ{
+		heap:        heapQ{q: slices.Clone(h.heap.q)},
+		deep:        h.deep,
+		widthHint:   h.widthHint,
+		escalations: h.escalations,
+	}
+	if h.cal != nil {
+		c.cal = h.cal.clone().(*calendar)
+	}
+	return c
+}
+
+func (h *hybridQ) occupancy() (uint64, uint64) {
+	if h.cal != nil {
+		return h.cal.occupancy()
+	}
+	return 0, 0
+}
 
 // Calendar shape. 256 buckets of 2^14 ns ≈ 16.4 µs (sized up from the
 // Table-I read latency, the smallest device latency that separates
@@ -597,9 +718,16 @@ func (s *Sim) SchedStats() SchedStats {
 		Reschedules:        s.reschedules,
 		StaleSkipped:       s.staleSkipped,
 	}
-	if c, ok := s.q.(*calendar); ok {
+	switch q := s.q.(type) {
+	case *calendar:
 		st.Buckets = calBuckets
-		st.BucketWidth = c.width()
+		st.BucketWidth = q.width()
+	case *hybridQ:
+		st.Escalations = q.escalations
+		if q.cal != nil {
+			st.Buckets = calBuckets
+			st.BucketWidth = q.cal.width()
+		}
 	}
 	return st
 }

@@ -75,17 +75,39 @@ func TestSchedDifferentialFuzz(t *testing.T) {
 		t.Run("", func(t *testing.T) {
 			t.Parallel()
 			rng := rand.New(rand.NewSource(seed*7919 + 1))
-			runSchedFuzz(t, rng, steps)
+			// Odd bucket hint exercises non-default rounding; the auto
+			// scheduler rides along at its default threshold (the fuzz
+			// queue crosses 64 pending, so it escalates and reverts).
+			runSchedFuzz(t, rng, steps,
+				NewSimOpts(SchedCalendar, 12*Microsecond),
+				NewSimOpts(SchedHeap, 0),
+				NewSimOpts(SchedAuto, 12*Microsecond),
+			)
 		})
 	}
 }
 
-func runSchedFuzz(t *testing.T, rng *rand.Rand, steps int) {
-	// Odd bucket hint exercises non-default rounding.
-	h := newFuzzHarness(
-		NewSimOpts(SchedCalendar, 12*Microsecond),
-		NewSimOpts(SchedHeap, 0),
-	)
+// TestSchedHybridFuzzLowThreshold forces the auto scheduler to
+// escalate and revert constantly: with the threshold dropped to 3
+// nearly every push migrates between heap and calendar regimes.
+// Sequential (not Parallel) because it mutates the package-level
+// threshold that concurrent pushes read.
+func TestSchedHybridFuzzLowThreshold(t *testing.T) {
+	old := hybridThreshold
+	hybridThreshold = 3
+	defer func() { hybridThreshold = old }()
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed*104729 + 3))
+		runSchedFuzz(t, rng, 5000,
+			NewSimOpts(SchedCalendar, 0),
+			NewSimOpts(SchedHeap, 0),
+			NewSimOpts(SchedAuto, 0),
+		)
+	}
+}
+
+func runSchedFuzz(t *testing.T, rng *rand.Rand, steps int, sims ...*Sim) {
+	h := newFuzzHarness(sims...)
 	var handles []Handle
 	var nextID uint64
 	cloneAt := steps / 2
@@ -195,18 +217,25 @@ func runSchedFuzz(t *testing.T, rng *rand.Rand, steps int) {
 		}
 	}
 
-	// Firing logs: calendar == heap for the originals...
-	diffLogs(t, "calendar vs heap", h.logs[0], h.logs[1])
-	if len(h.sims) == 4 {
-		// ...clone-calendar == clone-heap...
-		diffLogs(t, "cloned calendar vs cloned heap", h.logs[2], h.logs[3])
+	// Firing logs: every original agrees with the first (calendar)...
+	n0 := len(sims)
+	for i := 1; i < n0; i++ {
+		diffLogs(t, h.sims[i].Kind().String()+" vs "+h.sims[0].Kind().String(),
+			h.logs[0], h.logs[i])
+	}
+	if len(h.sims) == 2*n0 {
+		// ...every clone agrees with the first clone...
+		for i := 1; i < n0; i++ {
+			diffLogs(t, "cloned "+h.sims[n0+i].Kind().String()+" vs cloned "+h.sims[n0].Kind().String(),
+				h.logs[n0], h.logs[n0+i])
+		}
 		// ...and each clone replays exactly its parent's post-clone
 		// suffix (the clone log starts empty at the clone point).
-		n := len(h.logs[0]) - len(h.logs[2])
+		n := len(h.logs[0]) - len(h.logs[n0])
 		if n < 0 {
-			t.Fatalf("clone fired more events (%d) than its parent (%d)", len(h.logs[2]), len(h.logs[0]))
+			t.Fatalf("clone fired more events (%d) than its parent (%d)", len(h.logs[n0]), len(h.logs[0]))
 		}
-		diffLogs(t, "clone vs parent suffix", h.logs[2], h.logs[0][n:])
+		diffLogs(t, "clone vs parent suffix", h.logs[n0], h.logs[0][n:])
 	}
 	if a.SchedStats().Rotations == 0 {
 		t.Error("fuzz never rotated the calendar window; far-future tail too short")

@@ -7,7 +7,7 @@ import (
 // bothKinds runs a subtest against each scheduler implementation.
 func bothKinds(t *testing.T, f func(t *testing.T, kind SchedKind)) {
 	t.Helper()
-	for _, kind := range []SchedKind{SchedCalendar, SchedHeap} {
+	for _, kind := range []SchedKind{SchedAuto, SchedCalendar, SchedHeap} {
 		t.Run(kind.String(), func(t *testing.T) { f(t, kind) })
 	}
 }
@@ -18,7 +18,8 @@ func TestParseSched(t *testing.T) {
 		want SchedKind
 		ok   bool
 	}{
-		{"", SchedCalendar, true},
+		{"", SchedAuto, true},
+		{"auto", SchedAuto, true},
 		{"calendar", SchedCalendar, true},
 		{"heap", SchedHeap, true},
 		{"wheel", 0, false},
@@ -34,8 +35,8 @@ func TestParseSched(t *testing.T) {
 			t.Errorf("ParseSched(%q) = %v, want %v", c.name, got, c.want)
 		}
 	}
-	if SchedCalendar.String() != "calendar" || SchedHeap.String() != "heap" {
-		t.Errorf("String() = %q/%q, want calendar/heap", SchedCalendar, SchedHeap)
+	if SchedAuto.String() != "auto" || SchedCalendar.String() != "calendar" || SchedHeap.String() != "heap" {
+		t.Errorf("String() = %q/%q/%q, want auto/calendar/heap", SchedAuto, SchedCalendar, SchedHeap)
 	}
 }
 
@@ -209,10 +210,10 @@ func TestSchedReschedule(t *testing.T) {
 // so the overflow ladder and rotation machinery engage, and checks the
 // firing order stays total.
 func TestSchedOverflowRotation(t *testing.T) {
-	s := NewSim()
+	s := NewSimOpts(SchedCalendar, 0)
 	c, ok := s.q.(*calendar)
 	if !ok {
-		t.Fatal("default scheduler is not the calendar")
+		t.Fatal("pinned scheduler is not the calendar")
 	}
 	span := c.span()
 	var fired []Time
@@ -256,7 +257,7 @@ func TestSchedOverflowRotation(t *testing.T) {
 // the inserted item — inserts are only bounded below by now), and one
 // rotation at pop time migrates them into the buckets in order.
 func TestSchedEmptyQueueRebase(t *testing.T) {
-	s := NewSim()
+	s := NewSimOpts(SchedCalendar, 0)
 	s.After(5, func(Time) {})
 	s.Run()
 	far := s.Now() + 100*s.q.(*calendar).span()
@@ -341,5 +342,82 @@ func cycleHandles(s *Sim, h ArgHandler) {
 	s.Cancel(h1)
 	s.Reschedule(h2, now+4)
 	for s.Step() {
+	}
+}
+
+// TestSchedHybridEscalation: the auto scheduler runs on the heap while
+// shallow, escalates to the calendar once occupancy crosses the
+// threshold, and reverts to the heap when the calendar drains — firing
+// everything in the same (time, seq) order as the pinned heap.
+func TestSchedHybridEscalation(t *testing.T) {
+	old := hybridThreshold
+	hybridThreshold = 4
+	defer func() { hybridThreshold = old }()
+
+	s := NewSimOpts(SchedAuto, 0)
+	ref := NewSimOpts(SchedHeap, 0)
+	hq := s.q.(*hybridQ)
+
+	if st := s.SchedStats(); st.Kind != SchedAuto || st.Buckets != 0 || st.Escalations != 0 {
+		t.Fatalf("pristine auto stats = %+v, want no calendar geometry and no escalations", st)
+	}
+
+	var got, want []Time
+	rec := func(now Time) { got = append(got, now) }
+	refRec := func(now Time) { want = append(want, now) }
+	// Scrambled schedule, more than threshold items deep.
+	for _, at := range []Time{90, 10, 70, 30, 50, 20, 80, 40, 60, 100} {
+		_ = s.At(at, rec)
+		_ = ref.At(at, refRec)
+	}
+	if !hq.deep {
+		t.Fatal("queue above threshold did not escalate to the calendar")
+	}
+	s.Run()
+	ref.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, heap fired %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, heap at %v", i, got[i], want[i])
+		}
+	}
+	if hq.deep {
+		t.Error("drained queue did not revert to the heap")
+	}
+	st := s.SchedStats()
+	if st.Escalations != 1 {
+		t.Errorf("Escalations = %d, want 1", st.Escalations)
+	}
+	if st.Buckets != calBuckets || st.BucketWidth == 0 {
+		t.Errorf("escalated auto stats report no calendar geometry: %+v", st)
+	}
+
+	// Below the threshold the queue stays on the heap.
+	_ = s.At(s.Now()+5, rec)
+	if hq.deep {
+		t.Error("shallow push after revert escalated again")
+	}
+	s.Run()
+}
+
+// TestSchedHybridShallowStaysHeap: at the replay's real occupancy (a
+// couple of pending arrivals) the auto scheduler never touches the
+// calendar — the Mail-regression fix is that this path is pure heap.
+func TestSchedHybridShallowStaysHeap(t *testing.T) {
+	s := NewSimOpts(SchedAuto, 0)
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		_ = s.At(s.Now()+Time(i%3+1), func(Time) { fired++ })
+		s.Step()
+	}
+	s.Run()
+	if fired != 1000 {
+		t.Fatalf("fired %d of 1000 events", fired)
+	}
+	hq := s.q.(*hybridQ)
+	if hq.cal != nil || hq.escalations != 0 {
+		t.Errorf("shallow workload built a calendar (escalations=%d)", hq.escalations)
 	}
 }

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"cagc/internal/ftl"
+	"cagc/internal/trace"
+)
+
+// batchRuns builds a representative batch: n seed-varied warm runs off
+// one shared snapshot plus one cold run, the shape a sweep harness
+// produces.
+func batchRuns(t *testing.T, n int) []BatchRun {
+	t.Helper()
+	cfg, spec := snapConfig(t, ftl.CAGCOptions())
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := make([]BatchRun, 0, n+1)
+	for i := 0; i < n; i++ {
+		s := spec
+		s.Seed = int64(100 + i)
+		runs = append(runs, BatchRun{Snap: snap, Cfg: cfg, Spec: s})
+	}
+	runs = append(runs, BatchRun{Cfg: cfg, Spec: spec}) // cold slot
+	return runs
+}
+
+// RunBatch must be byte-identical to serial execution at every worker
+// count — the whole determinism contract of the batched engine.
+// reflect.DeepEqual over *Result sees every histogram bucket and the
+// latency timeline, so this is the strongest equality Go can state.
+func TestRunBatchWorkerCountInvariance(t *testing.T) {
+	runs := batchRuns(t, 6)
+	serial := make([]*Result, len(runs))
+	for i, r := range runs {
+		var err error
+		if r.Snap != nil {
+			serial[i], err = RunWarm(r.Snap, r.Cfg, r.Spec)
+		} else {
+			serial[i], err = Run(r.Cfg, r.Spec)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, errs := RunBatch(runs, workers)
+			if errs != nil {
+				t.Fatalf("errs = %v, want nil", errs)
+			}
+			for i := range runs {
+				if !reflect.DeepEqual(serial[i], got[i]) {
+					t.Fatalf("run %d diverged from serial execution at %d workers", i, workers)
+				}
+			}
+		})
+	}
+}
+
+// A failing run reports at its own index, completed runs keep their
+// results, and undispatched slots carry ErrNotRun — the batch always
+// says exactly which runs finished.
+func TestRunBatchPerRunErrors(t *testing.T) {
+	runs := batchRuns(t, 3)
+	bad := runs[1]
+	bad.Cfg.Utilization = 0.45 // incompatible with the snapshot's build
+	runs[1] = bad
+	results, errs := RunBatch(runs, 1)
+	if errs == nil {
+		t.Fatal("errs = nil, want per-run errors")
+	}
+	if len(errs) != len(runs) {
+		t.Fatalf("len(errs) = %d, want %d", len(errs), len(runs))
+	}
+	if errs[0] != nil || results[0] == nil {
+		t.Errorf("run 0: err %v, result %v; want completed", errs[0], results[0])
+	}
+	if errs[1] == nil || errors.Is(errs[1], ErrNotRun) {
+		t.Errorf("errs[1] = %v, want the run's own failure", errs[1])
+	}
+	if results[1] != nil {
+		t.Error("failed run left a non-nil result")
+	}
+	for i := 2; i < len(runs); i++ {
+		if !errors.Is(errs[i], ErrNotRun) {
+			t.Errorf("errs[%d] = %v, want ErrNotRun (serial dispatch stops at the failure)", i, errs[i])
+		}
+		if results[i] != nil {
+			t.Errorf("undispatched run %d has a result", i)
+		}
+	}
+}
+
+// Runner.Clone is the per-run cost a batch pays instead of a full build
+// + precondition; it must stay cheap and flat. 170 allocs/op measured
+// at this config (one per flat structure and slice header, none
+// proportional to device capacity); the bound leaves headroom for small
+// structural drift while catching any per-page or per-block copy
+// sneaking in.
+func TestCloneAllocBudget(t *testing.T) {
+	cfg, spec := snapConfig(t, ftl.CAGCOptions())
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := snap.NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		_ = r.Clone()
+	})
+	t.Logf("Runner.Clone: %.0f allocs/op", allocs)
+	if allocs > 220 {
+		t.Errorf("Runner.Clone allocates %.0f/op, budget 220 — a deep or per-page copy crept in", allocs)
+	}
+}
+
+// BenchmarkClone prices the snapshot fan-out primitive on its own:
+// cutting a fresh runner from a preconditioned master.
+func BenchmarkClone(b *testing.B) {
+	cfg := smallConfig(ftl.CAGCOptions())
+	r, err := NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := trace.Preset(trace.Mail, r.LogicalPages(), 3000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	master, err := snap.NewRunner(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = master.Clone()
+	}
+}

@@ -43,6 +43,15 @@ func TestReplaySchedulerEquivalence(t *testing.T) {
 			if !reflect.DeepEqual(resCal, resHeap) {
 				t.Errorf("results diverge between schedulers:\ncalendar: %+v\nheap:     %+v", resCal, resHeap)
 			}
+			auto := cfg
+			auto.Sched = event.SchedAuto
+			resAuto, err := Run(auto, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resAuto, resHeap) {
+				t.Errorf("results diverge between schedulers:\nauto: %+v\nheap: %+v", resAuto, resHeap)
+			}
 		})
 	}
 }
@@ -61,7 +70,7 @@ func TestWarmSnapshotServesBothSchedulers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, kind := range []event.SchedKind{event.SchedCalendar, event.SchedHeap} {
+	for _, kind := range []event.SchedKind{event.SchedAuto, event.SchedCalendar, event.SchedHeap} {
 		wcfg := cfg
 		wcfg.Sched = kind
 		warm, err := RunWarm(snap, wcfg, spec)

@@ -59,10 +59,11 @@ type Config struct {
 	// traced run may be served from a snapshot built by an untraced one.
 	Tracer obs.Tracer
 	// Sched selects the event-scheduler implementation driving the
-	// replay. The zero value is the calendar queue (the default); both
-	// schedulers produce byte-identical results — the knob exists for
-	// differential testing and performance comparison. Excluded from
-	// warm-state snapshot identity, like Tracer.
+	// replay. The zero value is the auto scheduler (heap below the
+	// occupancy threshold, calendar above); all kinds produce
+	// byte-identical results — the knob exists for differential testing
+	// and performance comparison. Excluded from warm-state snapshot
+	// identity, like Tracer.
 	Sched event.SchedKind
 }
 

@@ -6,12 +6,14 @@ package cagc
 // sweeps, queue-depth curves) fan them out across CPUs. Results are
 // written into index-addressed slots, so parallel execution is
 // bit-identical to sequential execution.
+//
+// The pool itself lives in internal/pool (shared with the batched
+// execution engine in internal/sim). It reports one error per index —
+// nil, the task's failure, or pool.ErrNotRun for tasks skipped after
+// dispatch stopped — which is what RunBatch surfaces; forEach keeps
+// the collapsed first-error-by-index contract for the sweep helpers.
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "cagc/internal/pool"
 
 // forEach runs task(0..n-1) on up to GOMAXPROCS goroutines and returns
 // the first error (by index order, so failures are deterministic too).
@@ -19,43 +21,5 @@ import (
 // worker when a task errors are never run — a sweep with a broken
 // configuration fails in one run's time, not n's.
 func forEach(n int, task func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := task(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := task(i); err != nil {
-					errs[i] = err
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for i := 0; i < n && !failed.Load(); i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return pool.First(pool.ForEach(n, 0, task))
 }

@@ -64,6 +64,11 @@ type SubstrateBench struct {
 	// regime where sweeps actually run.
 	Sweep SweepBench `json:"sweep"`
 
+	// Batch times the batched multi-run execution engine: the same seed
+	// sweep executed serially (one worker) and batched (one worker per
+	// core), reporting the aggregate events/sec-per-machine headline.
+	Batch BatchBench `json:"batch"`
+
 	// History is the PR-over-PR trajectory: the numbers each earlier
 	// performance PR committed (pinned in substrateHistory, mined from
 	// this repository's own BENCH_substrate.json history), followed by
@@ -93,13 +98,37 @@ type WorkloadBench struct {
 // scalars so SubstrateBench stays comparable (the JSON round-trip test
 // relies on that).
 type SweepBench struct {
-	Name        string  `json:"name"`
-	Points      int     `json:"points"`
-	ColdNs      int64   `json:"cold_ns"`      // wall time, cache bypassed
-	WarmNs      int64   `json:"warm_ns"`      // wall time, snapshot cache enabled
-	Reduction   float64 `json:"reduction"`    // 1 - warm/cold
-	CacheHits   uint64  `json:"cache_hits"`   // hits during the warm sweep
-	CacheMisses uint64  `json:"cache_misses"` // misses during the warm sweep
+	Name           string  `json:"name"`
+	Points         int     `json:"points"`
+	ColdNs         int64   `json:"cold_ns"`         // wall time, cache bypassed
+	WarmNs         int64   `json:"warm_ns"`         // wall time, snapshot cache enabled
+	Reduction      float64 `json:"reduction"`       // 1 - warm/cold
+	CacheHits      uint64  `json:"cache_hits"`      // hits during the warm sweep
+	CacheMisses    uint64  `json:"cache_misses"`    // misses during the warm sweep
+	CacheEvictions uint64  `json:"cache_evictions"` // LRU evictions during the warm sweep
+}
+
+// BatchBench records the batched-engine comparison: one identical warm
+// seed sweep executed with one worker and with one worker per core.
+// Machines differ in core count, so the tracked numbers are normalized:
+// AggPerCoreSerial vs AggPerCoreBatched (aggregate events/sec divided
+// by the worker count) measures per-core efficiency — batching must not
+// cost throughput — while Speedup (serial wall / batched wall) carries
+// the machine-level win and is meaningful relative to NumCPU.
+type BatchBench struct {
+	Name     string `json:"name"`
+	Runs     int    `json:"runs"`
+	Workers  int    `json:"workers"` // workers in the batched leg (NumCPU)
+	NumCPU   int    `json:"num_cpu"` // cores of the measuring machine
+	SerialNs int64  `json:"serial_ns"`
+	BatchNs  int64  `json:"batch_ns"`
+	Events   uint64 `json:"events"` // simulated events per leg (legs are identical)
+
+	AggSerial         float64 `json:"agg_events_per_sec_serial"`
+	AggBatched        float64 `json:"agg_events_per_sec_batched"`
+	AggPerCoreSerial  float64 `json:"agg_per_core_serial"`  // AggSerial / 1 worker
+	AggPerCoreBatched float64 `json:"agg_per_core_batched"` // AggBatched / Workers
+	Speedup           float64 `json:"speedup"`              // SerialNs / BatchNs
 }
 
 // HistoryRow is one (PR, workload) point of the substrate trajectory:
@@ -125,12 +154,15 @@ var substrateHistory = []HistoryRow{
 	{PR: "PR 3-4", Change: "open-addressed hot-path tables; tracing kept allocation-free", Workload: "Mail", NsPerOp: 6531607, AllocsPerOp: 293, EventsPerSec: 8297192},
 	{PR: "PR 3-4", Change: "open-addressed hot-path tables; tracing kept allocation-free", Workload: "Homes", NsPerOp: 8350132, AllocsPerOp: 295, EventsPerSec: 8074483},
 	{PR: "PR 3-4", Change: "open-addressed hot-path tables; tracing kept allocation-free", Workload: "Web-vm", NsPerOp: 17652755, AllocsPerOp: 306, EventsPerSec: 9620934},
+	{PR: "PR 5", Change: "calendar-queue event scheduler, event-driven replay", Workload: "Mail", NsPerOp: 6886071, AllocsPerOp: 338, EventsPerSec: 7870089},
+	{PR: "PR 5", Change: "calendar-queue event scheduler, event-driven replay", Workload: "Homes", NsPerOp: 7285683, AllocsPerOp: 341, EventsPerSec: 9254176},
+	{PR: "PR 5", Change: "calendar-queue event scheduler, event-driven replay", Workload: "Web-vm", NsPerOp: 15821489, AllocsPerOp: 341, EventsPerSec: 10734513},
 }
 
 // currentHistoryLabel names the rows this measurement contributes.
 const (
-	currentHistoryPR     = "PR 5"
-	currentHistoryChange = "calendar-queue event scheduler, event-driven replay"
+	currentHistoryPR     = "PR 6"
+	currentHistoryChange = "hybrid auto scheduler, batched multi-run engine, LRU snapshot registry"
 )
 
 // simulatedEvents tallies the discrete operations the substrate
@@ -185,6 +217,9 @@ func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*Substrate
 		sb.Workloads = append(sb.Workloads, row)
 	}
 	if sb.Sweep, err = measureSweep(w, s, policy, p); err != nil {
+		return nil, err
+	}
+	if sb.Batch, err = measureBatch(w, s, policy, p); err != nil {
 		return nil, err
 	}
 	sb.History = append(sb.History, substrateHistory...)
@@ -314,13 +349,64 @@ func measureSweep(w Workload, s Scheme, policy string, p Params) (SweepBench, er
 	return SweepBench{
 		Name: fmt.Sprintf("%s × %s × %s, %d seeds, %d MiB device, %d reqs/run",
 			w, s, policy, sweepSeeds, sweepDeviceBytes>>20, sweepRequests),
-		Points:      sweepSeeds,
-		ColdNs:      coldD.Nanoseconds(),
-		WarmNs:      warmD.Nanoseconds(),
-		Reduction:   reduction(float64(coldD), float64(warmD)),
-		CacheHits:   st.Hits,
-		CacheMisses: st.Misses,
+		Points:         sweepSeeds,
+		ColdNs:         coldD.Nanoseconds(),
+		WarmNs:         warmD.Nanoseconds(),
+		Reduction:      reduction(float64(coldD), float64(warmD)),
+		CacheHits:      st.Hits,
+		CacheMisses:    st.Misses,
+		CacheEvictions: st.Evictions,
 	}, nil
+}
+
+// measureBatch times the batched engine against its own serial leg: the
+// same warm seed sweep with 1 worker and with NumCPU workers. Both legs
+// run after a first pass has populated the snapshot cache, so the
+// comparison isolates execution, not snapshot building. It resets the
+// process-wide cache.
+func measureBatch(w Workload, s Scheme, policy string, p Params) (BatchBench, error) {
+	q := p
+	q.DeviceBytes = sweepDeviceBytes
+	q.Requests = sweepRequests
+	q.ColdStart = false
+	seeds := make([]int64, sweepSeeds)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	items := SeedBatch(w, s, policy, q, seeds)
+	ResetWarmCache()
+	defer ResetWarmCache()
+	if warm := RunBatch(items, 1); warm.Err() != nil { // populate the snapshot cache
+		return BatchBench{}, warm.Err()
+	}
+	serial := RunBatch(items, 1)
+	if err := serial.Err(); err != nil {
+		return BatchBench{}, err
+	}
+	batched := RunBatch(items, runtime.NumCPU())
+	if err := batched.Err(); err != nil {
+		return BatchBench{}, err
+	}
+	bb := BatchBench{
+		Name: fmt.Sprintf("%s × %s × %s, %d seeds, %d MiB device, %d reqs/run (warm)",
+			w, s, policy, sweepSeeds, sweepDeviceBytes>>20, sweepRequests),
+		Runs:       len(items),
+		Workers:    batched.Workers,
+		NumCPU:     runtime.NumCPU(),
+		SerialNs:   serial.Wall.Nanoseconds(),
+		BatchNs:    batched.Wall.Nanoseconds(),
+		Events:     batched.Events,
+		AggSerial:  serial.AggregateEventsPerSec(),
+		AggBatched: batched.AggregateEventsPerSec(),
+	}
+	bb.AggPerCoreSerial = bb.AggSerial
+	if bb.Workers > 0 {
+		bb.AggPerCoreBatched = bb.AggBatched / float64(bb.Workers)
+	}
+	if bb.BatchNs > 0 {
+		bb.Speedup = float64(bb.SerialNs) / float64(bb.BatchNs)
+	}
+	return bb, nil
 }
 
 // WriteBenchJSON emits the report as indented JSON.

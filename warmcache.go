@@ -21,12 +21,17 @@ package cagc
 // once), so the cache composes with forEach fan-out instead of
 // serializing it; concurrent requests for the same key share one build.
 //
-// Snapshots are retained for the life of the process. At figure scales
-// a snapshot is a few MiB; for very large DeviceBytes prefer
-// Params.ColdStart (or the CLIs' -coldstart flag), which bypasses the
-// cache entirely.
+// Retention is a keyed LRU registry: at most Capacity snapshots stay
+// resident (default 32 — comfortably above the ~22-key working set of
+// the full evaluation suite), and inserting past capacity
+// evicts the least recently used entry. An evicted snapshot that is
+// still building completes its build for the requests already waiting
+// on it; the registry just stops retaining it, so a later request
+// rebuilds. For very large DeviceBytes prefer Params.ColdStart (or the
+// CLIs' -coldstart flag), which bypasses the cache entirely.
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -35,45 +40,104 @@ import (
 	"cagc/internal/trace"
 )
 
+// defaultWarmCapacity is the snapshot registry's default size. The
+// full evaluation (figures -exp all / verify, including the
+// utilization and buffer ablations) touches ~22 distinct warm states;
+// 32 holds it eviction-free with slack, without letting an unbounded
+// sweep accumulate snapshots forever.
+const defaultWarmCapacity = 32
+
 // CacheStats reports warm-state snapshot cache activity.
 type CacheStats struct {
 	Hits      uint64 // runs served by cloning a cached snapshot
 	Misses    uint64 // runs that built (and cached) a new snapshot
+	Evictions uint64 // snapshots dropped by the LRU policy
 	Snapshots int    // distinct warm states currently cached
+	Capacity  int    // registry size limit (snapshots, not bytes)
 }
 
 type warmEntry struct {
 	once sync.Once
 	snap *sim.Snapshot
 	err  error
+	key  string        // back-pointer so eviction can delete by element
+	elem *list.Element // position in the LRU list; nil once evicted
 }
 
 type warmCacheT struct {
-	mu      sync.Mutex
-	entries map[string]*warmEntry
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[string]*warmEntry
+	lru       *list.List // front = most recently used; values are *warmEntry
+	capacity  int
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
-var warmCache = warmCacheT{entries: map[string]*warmEntry{}}
+var warmCache = warmCacheT{
+	entries:  map[string]*warmEntry{},
+	lru:      list.New(),
+	capacity: defaultWarmCapacity,
+}
 
-// get returns the snapshot for key, building it at most once per key
-// process-wide. Build errors are cached too: a configuration that
-// cannot precondition fails identically on every run, warm or cold.
+// get returns the snapshot for key, building it at most once per
+// residency. Build errors are cached too: a configuration that cannot
+// precondition fails identically on every run, warm or cold.
 func (c *warmCacheT) get(key string, build func() (*sim.Snapshot, error)) (*sim.Snapshot, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
-	if !ok {
-		e = &warmEntry{}
-		c.entries[key] = e
-		c.misses++
-	} else {
+	if ok {
 		c.hits++
+		c.lru.MoveToFront(e.elem)
+	} else {
+		c.misses++
+		e = &warmEntry{key: key}
+		e.elem = c.lru.PushFront(e)
+		c.entries[key] = e
+		for c.lru.Len() > c.capacity {
+			c.evictOldest()
+		}
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.snap, e.err = build() })
 	return e.snap, e.err
 }
+
+// evictOldest drops the least recently used entry. Callers hold c.mu.
+// The entry itself stays valid for requests already holding it (its
+// once still yields the built snapshot); it is simply no longer
+// findable, so the next request for its key rebuilds.
+func (c *warmCacheT) evictOldest() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	victim := back.Value.(*warmEntry)
+	c.lru.Remove(back)
+	victim.elem = nil
+	delete(c.entries, victim.key)
+	c.evictions++
+}
+
+// setCapacity resizes the registry, evicting LRU-first if the new
+// capacity is below the current population. Capacities below 1 clamp
+// to 1: a zero-size cache is ColdStart's job.
+func (c *warmCacheT) setCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = n
+	for c.lru.Len() > c.capacity {
+		c.evictOldest()
+	}
+}
+
+// SetWarmCacheCapacity bounds the snapshot registry to at most n warm
+// states (LRU eviction; minimum 1). The default is 32. Shrinking below
+// the current population evicts immediately, oldest first.
+func SetWarmCacheCapacity(n int) { warmCache.setCapacity(n) }
 
 // WarmCacheStats returns the process-wide snapshot cache counters.
 func WarmCacheStats() CacheStats {
@@ -82,17 +146,20 @@ func WarmCacheStats() CacheStats {
 	return CacheStats{
 		Hits:      warmCache.hits,
 		Misses:    warmCache.misses,
+		Evictions: warmCache.evictions,
 		Snapshots: len(warmCache.entries),
+		Capacity:  warmCache.capacity,
 	}
 }
 
 // ResetWarmCache drops every cached snapshot and zeroes the counters
-// (tests and cold-vs-warm benchmarks).
+// (tests and cold-vs-warm benchmarks). Capacity is preserved.
 func ResetWarmCache() {
 	warmCache.mu.Lock()
 	defer warmCache.mu.Unlock()
 	warmCache.entries = map[string]*warmEntry{}
-	warmCache.hits, warmCache.misses = 0, 0
+	warmCache.lru = list.New()
+	warmCache.hits, warmCache.misses, warmCache.evictions = 0, 0, 0
 }
 
 // warmKey identifies one warm state; see the package comment above for

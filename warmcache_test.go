@@ -106,7 +106,7 @@ func TestColdStartBypassesCache(t *testing.T) {
 	if _, err := Run(Homes, Baseline, "greedy", p); err != nil {
 		t.Fatal(err)
 	}
-	if st := WarmCacheStats(); st != (CacheStats{}) {
+	if st := WarmCacheStats(); st.Hits+st.Misses+st.Evictions != 0 || st.Snapshots != 0 {
 		t.Fatalf("cold start touched the cache: %+v", st)
 	}
 }
@@ -160,5 +160,96 @@ func TestCacheUnderParallelFanOut(t *testing.T) {
 		if !reflect.DeepEqual(want, results[i]) {
 			t.Fatalf("parallel warm run %v diverged from cold run", c)
 		}
+	}
+}
+
+// The registry is a bounded LRU: recency protects entries, inserting
+// past capacity evicts the least recently used one, and an evicted key
+// rebuilds on its next request with results still bit-identical.
+func TestCacheLRUEviction(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	SetWarmCacheCapacity(2)
+	defer SetWarmCacheCapacity(defaultWarmCapacity)
+
+	p := equivParams()
+	p.Requests = 1000
+	at := func(util float64) Params { // utilization is part of the warm key
+		q := p
+		q.Utilization = util
+		return q
+	}
+	run := func(q Params) *Result {
+		t.Helper()
+		res, err := Run(Homes, Baseline, "greedy", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	a, b, c := at(0.50), at(0.55), at(0.60)
+	run(a)
+	wantB := run(b)
+	if st := WarmCacheStats(); st.Snapshots != 2 || st.Evictions != 0 {
+		t.Fatalf("two keys at capacity 2 should both be resident: %+v", st)
+	}
+	run(a) // touch A so B becomes the LRU entry
+	run(c) // third key: evicts B, not the recently used A
+	st := WarmCacheStats()
+	if st.Evictions != 1 || st.Snapshots != 2 {
+		t.Fatalf("inserting past capacity should evict exactly one: %+v", st)
+	}
+	hitsBefore := st.Hits
+	run(a) // still resident: hit
+	if st := WarmCacheStats(); st.Hits != hitsBefore+1 || st.Misses != 3 {
+		t.Fatalf("recently used key was evicted: %+v", st)
+	}
+	gotB := run(b) // evicted: rebuilds, and the rebuild is bit-identical
+	st = WarmCacheStats()
+	if st.Misses != 4 || st.Evictions != 2 {
+		t.Fatalf("evicted key should rebuild (miss) and displace again: %+v", st)
+	}
+	if !reflect.DeepEqual(wantB, gotB) {
+		t.Fatal("rebuilt snapshot diverged from its first build")
+	}
+	if st.Capacity != 2 {
+		t.Fatalf("Capacity = %d, want 2", st.Capacity)
+	}
+}
+
+// Shrinking the registry below its population evicts immediately,
+// oldest first; capacities below 1 clamp to 1.
+func TestCacheCapacityShrink(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	defer SetWarmCacheCapacity(defaultWarmCapacity)
+
+	p := equivParams()
+	p.Requests = 1000
+	for _, util := range []float64{0.50, 0.55, 0.60} {
+		q := p
+		q.Utilization = util
+		if _, err := Run(Homes, Baseline, "greedy", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := WarmCacheStats(); st.Snapshots != 3 {
+		t.Fatalf("setup: want 3 resident snapshots, got %+v", st)
+	}
+	SetWarmCacheCapacity(0) // clamps to 1
+	st := WarmCacheStats()
+	if st.Snapshots != 1 || st.Evictions != 2 || st.Capacity != 1 {
+		t.Fatalf("shrink to capacity 1: %+v", st)
+	}
+	// The survivor must be the most recently used key (util=0.60).
+	q := p
+	q.Utilization = 0.60
+	hitsBefore := st.Hits
+	if _, err := Run(Homes, Baseline, "greedy", q); err != nil {
+		t.Fatal(err)
+	}
+	if st := WarmCacheStats(); st.Hits != hitsBefore+1 {
+		t.Fatalf("most recently used key should survive the shrink: %+v", st)
 	}
 }
