@@ -7,7 +7,9 @@ package cagc
 // mirrored pair, with and without GC-aware steering.
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"cagc/internal/array"
 	"cagc/internal/flash"
@@ -51,14 +53,50 @@ func ArrayStudy(w Workload, schemes []Scheme, p Params) ([]ArrayStudyRow, error)
 }
 
 func runArray(w Workload, s Scheme, p Params, steering bool) (*ArrayResult, error) {
+	return RunArray(w, s, p, ArrayParams{Mode: "raid1", Members: 2, Stagger: true, Steer: steering})
+}
+
+// ArrayParams configures one multi-SSD volume run — the CLI surface of
+// the array layer.
+type ArrayParams struct {
+	// Mode is "raid0" (striped) or "raid1" (mirrored; default).
+	Mode string
+	// Members is the number of SSDs in the volume (default 2).
+	Members int
+	// Stagger offsets each member's GC watermark by 1.5 blocks so the
+	// members never collect in lockstep.
+	Stagger bool
+	// Steer enables GC-aware read steering (RAID-1 only).
+	Steer bool
+}
+
+// RunArray replays the workload through a multi-SSD volume whose
+// members all run scheme s. Like the single-device path it is fully
+// deterministic: same arguments, same Result.
+func RunArray(w Workload, s Scheme, p Params, ap ArrayParams) (*ArrayResult, error) {
+	p = p.withDefaults()
+	mode := array.RAID1
+	switch ap.Mode {
+	case "", "raid1":
+	case "raid0":
+		mode = array.RAID0
+	default:
+		return nil, fmt.Errorf("array: unknown mode %q (want raid0 or raid1)", ap.Mode)
+	}
+	if ap.Members == 0 {
+		ap.Members = 2
+	}
+	if ap.Steer && mode != array.RAID1 {
+		return nil, fmt.Errorf("array: GC-aware steering needs raid1 (reads have no replica choice in raid0)")
+	}
 	cfg := array.Config{
-		Mode:            array.RAID1,
-		Members:         2,
+		Mode:            mode,
+		Members:         ap.Members,
 		MemberDevice:    flash.ScaledConfig(p.DeviceBytes),
 		MemberOptions:   s.Options(),
 		Utilization:     p.Utilization,
-		GCAwareSteering: steering,
-		StaggerGC:       true,
+		GCAwareSteering: ap.Steer,
+		StaggerGC:       ap.Stagger,
 	}
 	a, err := array.New(cfg)
 	if err != nil {
@@ -77,4 +115,72 @@ func runArray(w Workload, s Scheme, p Params, steering bool) (*ArrayResult, erro
 		return nil, err
 	}
 	return array.Replay(a, gen, offset)
+}
+
+// ArraySummary is the JSON-stable view of an ArrayResult.
+type ArraySummary struct {
+	Mode       string  `json:"mode"`
+	Scheme     string  `json:"scheme"`
+	Members    int     `json:"members"`
+	Requests   uint64  `json:"requests"`
+	DurationMs float64 `json:"duration_ms"`
+
+	Latency      LatencySummary `json:"latency"`
+	ReadLatency  LatencySummary `json:"read_latency"`
+	WriteLatency LatencySummary `json:"write_latency"`
+
+	SteeredReads uint64 `json:"steered_reads"`
+}
+
+// SummarizeArray flattens an ArrayResult.
+func SummarizeArray(r *ArrayResult) ArraySummary {
+	lat := func(h interface {
+		Count() uint64
+		Mean() float64
+		Percentile(float64) Time
+		Max() Time
+	}) LatencySummary {
+		return LatencySummary{
+			Count:  h.Count(),
+			MeanUs: h.Mean() / 1000,
+			P50Us:  h.Percentile(0.50).Micros(),
+			P90Us:  h.Percentile(0.90).Micros(),
+			P99Us:  h.Percentile(0.99).Micros(),
+			P999Us: h.Percentile(0.999).Micros(),
+			MaxUs:  h.Max().Micros(),
+		}
+	}
+	return ArraySummary{
+		Mode:         r.Mode,
+		Scheme:       r.Scheme,
+		Members:      r.Members,
+		Requests:     r.Requests,
+		DurationMs:   r.Duration.Millis(),
+		Latency:      lat(&r.Latency),
+		ReadLatency:  lat(&r.ReadLatency),
+		WriteLatency: lat(&r.WriteLatency),
+		SteeredReads: r.SteeredReads,
+	}
+}
+
+// WriteArrayJSON emits the array summary as indented JSON.
+func WriteArrayJSON(w io.Writer, r *ArrayResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(SummarizeArray(r))
+}
+
+// FprintArray renders the human-readable array report.
+func FprintArray(w io.Writer, r *ArrayResult) {
+	fmt.Fprintf(w, "array: %s x %d members, scheme %s\n", r.Mode, r.Members, r.Scheme)
+	fmt.Fprintf(w, "requests %d  duration %.1f ms  steered reads %d\n\n",
+		r.Requests, r.Duration.Millis(), r.SteeredReads)
+	lat := func(name string, s LatencySummary) {
+		fmt.Fprintf(w, "%-8s n=%-9d mean %-9.1f p50 %-9.1f p99 %-9.1f p99.9 %-9.1f max %.1f (us)\n",
+			name, s.Count, s.MeanUs, s.P50Us, s.P99Us, s.P999Us, s.MaxUs)
+	}
+	sum := SummarizeArray(r)
+	lat("latency", sum.Latency)
+	lat("read", sum.ReadLatency)
+	lat("write", sum.WriteLatency)
 }

@@ -9,6 +9,8 @@
 //	cagcsim -workload Web-vm -scheme baseline -device 134217728 -requests 50000
 //	cagcsim -trace out.json -trace-summary
 //	cagcsim -batch 32 -workers 8
+//	cagcsim -fleet 10000 -workers 8 -fleet-util-spread 0.1 -fleet-stagger 4
+//	cagcsim -array raid1 -members 4 -stagger -steer
 //	cagcsim -bench -benchout BENCH_substrate.json
 //	cagcsim -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
@@ -53,7 +55,20 @@ func run() (retErr error) {
 		traceLast = flag.Int("trace-last", 0, "flight-recorder mode: keep only the last N trace events (0 = unbounded)")
 
 		batch   = flag.Int("batch", 0, "run a batch of N seed-varied runs (seeds seed..seed+N-1) and print the aggregate throughput report")
-		workers = flag.Int("workers", 0, "worker goroutines for -batch (0 = one per core)")
+		workers = flag.Int("workers", 0, "worker goroutines for -batch and -fleet (0 = one per core)")
+
+		fleetN       = flag.Int("fleet", 0, "simulate a fleet of N per-device-perturbed SSDs and print the merged fleet report (deterministic at any -workers)")
+		fleetShard   = flag.Int("fleet-shard", 0, "devices per shard (scheduling granularity only; 0 = default 64)")
+		fleetUtil    = flag.Float64("fleet-util-spread", 0, "total width of per-device utilization skew (0 = uniform fleet)")
+		fleetUtilCls = flag.Int("fleet-util-classes", 0, "distinct utilization classes, one warm snapshot each (0 = default 4 when skew is on)")
+		fleetStagger = flag.Int("fleet-stagger", 0, "GC-watermark stagger classes desynchronizing fleet GC (0 or 1 = coordinated watermarks)")
+		fleetDiurnal = flag.Float64("fleet-diurnal", 0, "per-device arrival-rate spread: mean inter-arrival scaled by 1 +/- this/2")
+		fleetTopK    = flag.Int("fleet-topk", 0, "straggler devices to report (0 = default 10)")
+
+		arrayMode = flag.String("array", "", "replay through a multi-SSD volume instead of one device: raid0 (striped) or raid1 (mirrored)")
+		members   = flag.Int("members", 2, "array members for -array")
+		stagger   = flag.Bool("stagger", false, "stagger array member GC watermarks (-array)")
+		steer     = flag.Bool("steer", false, "GC-aware read steering (-array raid1)")
 
 		bench    = flag.Bool("bench", false, "measure substrate throughput (events/sec, ns/op, allocs/op) instead of printing a report")
 		benchOut = flag.String("benchout", "BENCH_substrate.json", "file the -bench report is written to ('' = stdout only)")
@@ -82,9 +97,22 @@ func run() (retErr error) {
 		ColdStart:    *cold,
 	}
 
+	modes := 0
+	for _, on := range []bool{*bench, *batch > 0, *fleetN > 0, *arrayMode != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-bench, -batch, -fleet, and -array are mutually exclusive modes")
+	}
+
 	tracing := *traceOut != "" || *traceSum || *traceLast > 0
 	if tracing && (*bench || *batch > 0) {
 		return fmt.Errorf("-trace/-trace-summary/-trace-last cannot be combined with -bench or -batch (the harness times many runs; trace one)")
+	}
+	if tracing && *arrayMode != "" {
+		return fmt.Errorf("-trace/-trace-summary/-trace-last cannot be combined with -array (the array layer is untraced)")
 	}
 	if *traceLast > 0 && *traceOut == "" && !*traceSum {
 		return fmt.Errorf("-trace-last needs -trace or -trace-summary to report into")
@@ -123,6 +151,69 @@ func run() (retErr error) {
 			}
 			fmt.Fprintln(os.Stderr, "cagcsim: wrote", *benchOut)
 		}
+		return nil
+	}
+
+	if *fleetN > 0 {
+		// Fleet scale trades per-device depth for breadth: default to
+		// 2000 requests per device unless the user asked for a count.
+		requestsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "requests" {
+				requestsSet = true
+			}
+		})
+		if !requestsSet {
+			p.Requests = 2000
+		}
+		fr, err := cagc.RunFleet(w, s, *policy, p, cagc.FleetParams{
+			Devices:        *fleetN,
+			ShardSize:      *fleetShard,
+			Workers:        *workers,
+			UtilSpread:     *fleetUtil,
+			UtilClasses:    *fleetUtilCls,
+			StaggerClasses: *fleetStagger,
+			Diurnal:        *fleetDiurnal,
+			TopK:           *fleetTopK,
+		})
+		if err != nil {
+			return err
+		}
+		reportCache()
+		if err := exportTrace(rec, *traceOut, *traceSum,
+			fmt.Sprintf("fleet %d x %s x %s x %s", *fleetN, w, s, *policy)); err != nil {
+			return err
+		}
+		if *asJSON {
+			// The JSON document is the deterministic fleet report —
+			// byte-identical at any -workers, so CI diffs it. Wall-clock
+			// facts go to stderr, exactly like batch mode.
+			if err := cagc.WriteFleetJSON(os.Stdout, fr.Result); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "fleet: %d devices, %d workers, wall %v, %.1f devices/s, %.0f events/s\n",
+				fr.Result.Devices, fr.Workers, fr.Wall.Round(time.Millisecond),
+				fr.DevicesPerSec(), fr.AggregateEventsPerSec())
+			return nil
+		}
+		cagc.FprintFleet(os.Stdout, fr)
+		return nil
+	}
+
+	if *arrayMode != "" {
+		res, err := cagc.RunArray(w, s, p, cagc.ArrayParams{
+			Mode:    *arrayMode,
+			Members: *members,
+			Stagger: *stagger,
+			Steer:   *steer,
+		})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return cagc.WriteArrayJSON(os.Stdout, res)
+		}
+		cagc.FprintArray(os.Stdout, res)
 		return nil
 	}
 

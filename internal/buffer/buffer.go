@@ -87,6 +87,25 @@ func (b *WriteBuffer) Clone(f *ftl.FTL) *WriteBuffer {
 	return c
 }
 
+// CopyFrom makes b an exact copy of src bound to f (the recycled-clone
+// path). The buffer's LRU is list+map backed, so the copy rebuilds the
+// slot chain like Clone does; only the WriteBuffer struct itself is
+// reused. Buffered configurations are rare in batch/fleet runs, so this
+// path stays simple rather than flat.
+func (b *WriteBuffer) CopyFrom(src *WriteBuffer, f *ftl.FTL) {
+	b.f = f
+	b.cap = src.cap
+	b.ctrl = src.ctrl
+	b.stats = src.stats
+	b.tr = src.tr
+	b.lru = list.New()
+	b.index = make(map[uint64]*list.Element, len(src.index))
+	for el := src.lru.Front(); el != nil; el = el.Next() {
+		s := *el.Value.(*slot)
+		b.index[s.lpn] = b.lru.PushBack(&s)
+	}
+}
+
 // Stats returns a copy of the counters.
 func (b *WriteBuffer) Stats() Stats { return b.stats }
 

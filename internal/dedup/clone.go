@@ -19,3 +19,17 @@ func (x *Index) Clone() *Index {
 		lruOn:    x.lruOn,
 	}
 }
+
+// CopyFrom makes x an exact copy of src, reusing x's existing
+// allocations (the fingerprint table's slot array and the entry/free
+// stacks) where capacity allows. Equivalent to Clone in every
+// observable way; used by the warm-state clone free-list.
+func (x *Index) CopyFrom(src *Index) {
+	x.byFP.CopyFrom(src.byFP)
+	x.entries = append(x.entries[:0], src.entries...)
+	x.freeIDs = append(x.freeIDs[:0], src.freeIDs...)
+	x.live = src.live
+	x.stats = src.stats
+	x.capacity = src.capacity
+	x.lruOn = src.lruOn
+}

@@ -33,6 +33,21 @@ func (p *Pool) Clone() *Pool {
 	return c
 }
 
+// CopyFrom makes p an exact copy of src, reusing p's unit timelines
+// when the unit counts match (they always do on the recycled-clone
+// path, where both pools come from the same device configuration).
+func (p *Pool) CopyFrom(src *Pool) {
+	if len(p.units) != len(src.units) {
+		p.units = make([]*Timeline, len(src.units))
+		for i := range p.units {
+			p.units[i] = NewTimeline()
+		}
+	}
+	for i, u := range src.units {
+		p.units[i].CopyFrom(u)
+	}
+}
+
 // Busy returns the cumulative busy time across all units.
 func (p *Pool) Busy() Time {
 	var b Time

@@ -62,6 +62,9 @@ func (tl *Timeline) Clone() *Timeline {
 	return &c
 }
 
+// CopyFrom overwrites tl with src's state (recycled-clone path).
+func (tl *Timeline) CopyFrom(src *Timeline) { *tl = *src }
+
 // Utilization returns busy time divided by the span [0, horizon].
 // A zero or negative horizon yields 0.
 func (tl *Timeline) Utilization(horizon Time) float64 {

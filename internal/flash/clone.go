@@ -35,3 +35,45 @@ func (d *Device) Clone() *Device {
 	}
 	return c
 }
+
+// CopyFrom makes d an exact copy of src, reusing d's existing
+// allocations — the per-block state/tag arrays, the die timelines, and
+// the hash pool. This is the recycled-clone path of the warm-state
+// free-list: after the first clone, re-seeding a recycled device from
+// the snapshot master is pure copying with zero heap growth. Observable
+// behavior is identical to Clone; d must come from the same
+// configuration as src (same geometry), which the snapshot layer
+// guarantees.
+func (d *Device) CopyFrom(src *Device) {
+	if len(d.blocks) != len(src.blocks) {
+		d.blocks = make([]Block, len(src.blocks))
+	}
+	for i := range src.blocks {
+		s := &src.blocks[i]
+		dst := &d.blocks[i]
+		states, tags := dst.states[:0], dst.tags[:0]
+		*dst = *s
+		dst.states = append(states, s.states...)
+		dst.tags = append(tags, s.tags...)
+	}
+	if len(d.dies) != len(src.dies) {
+		d.dies = make([]*event.Timeline, len(src.dies))
+		for i := range d.dies {
+			d.dies[i] = event.NewTimeline()
+		}
+	}
+	for i, tl := range src.dies {
+		d.dies[i].CopyFrom(tl)
+	}
+	if d.hash == nil {
+		d.hash = src.hash.Clone()
+	} else {
+		d.hash.CopyFrom(src.hash)
+	}
+	d.cfg = src.cfg
+	d.stats = src.stats
+	d.dieOps = append(d.dieOps[:0], src.dieOps...)
+	d.totalPages = src.totalPages
+	d.tr = src.tr
+	d.now = src.now
+}

@@ -346,3 +346,13 @@ func (m *Map[V]) Clone() *Map[V] {
 	c.slots = slices.Clone(m.slots)
 	return &c
 }
+
+// CopyFrom makes m an exact copy of src, reusing m's slot array when
+// its capacity suffices — the recycled-clone path of the warm-state
+// free-list, which turns the per-run table copy into a pure memmove
+// after the first clone. The result is indistinguishable from Clone.
+func (m *Map[V]) CopyFrom(src *Map[V]) {
+	slots := m.slots[:0]
+	*m = *src
+	m.slots = append(slots, src.slots...)
+}

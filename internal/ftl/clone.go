@@ -68,3 +68,83 @@ func (c *cmt) clone() *cmt {
 	n.pages = c.pages.Clone()
 	return &n
 }
+
+// copyFrom overwrites c with src's state, reusing c's page table.
+func (c *cmt) copyFrom(src *cmt) {
+	pages := c.pages
+	*c = *src
+	c.pages = pages
+	c.pages.CopyFrom(src.pages)
+}
+
+// CopyFrom makes f an exact copy of src bound to dev, reusing f's
+// existing allocations — the recycled-clone path of the warm-state
+// free-list. f must have been built (or previously cloned) from the
+// same configuration as src, so every table has the right shape and
+// the copy degenerates to flat memmoves; shape mismatches fall back to
+// fresh allocation, preserving correctness. Observable behavior is
+// identical to Clone: the same bit-identity contract applies.
+func (f *FTL) CopyFrom(src *FTL, dev *flash.Device) {
+	f.dev = dev
+	prevPolicy := f.opts.Policy
+	f.opts = src.opts
+	if cp, ok := src.opts.Policy.(ClonablePolicy); ok {
+		// Stateful policies are part of the warm state: reuse the
+		// recycled runner's instance in place when the concrete types
+		// match (the common case — one policy kind per snapshot),
+		// otherwise clone fresh.
+		if sp, ok := src.opts.Policy.(*RandomPolicy); ok {
+			if dp, ok := prevPolicy.(*RandomPolicy); ok {
+				*dp = *sp
+				f.opts.Policy = dp
+			} else {
+				f.opts.Policy = sp.ClonePolicy()
+			}
+		} else {
+			f.opts.Policy = cp.ClonePolicy()
+		}
+	}
+	f.geo = src.geo
+	f.dies = src.dies
+	f.gcFreeOK = src.gcFreeOK
+	if f.idx == nil {
+		f.idx = src.idx.Clone()
+	} else {
+		f.idx.CopyFrom(src.idx)
+	}
+	f.mapping = append(f.mapping[:0], src.mapping...)
+	f.owners = append(f.owners[:0], src.owners...)
+	f.rev.copyFrom(&src.rev)
+	f.blocks = append(f.blocks[:0], src.blocks...)
+	if len(f.freeByDie) != len(src.freeByDie) {
+		f.freeByDie = make([][]flash.BlockID, len(src.freeByDie))
+	}
+	for i, l := range src.freeByDie {
+		f.freeByDie[i] = append(f.freeByDie[i][:0], l...)
+	}
+	f.freeCount = src.freeCount
+	f.hotRR = src.hotRR
+	f.coldOpen = src.coldOpen
+	f.hasCold = src.hasCold
+	f.hotOpen = append(f.hotOpen[:0], src.hotOpen...)
+	f.hasHot = append(f.hasHot[:0], src.hasHot...)
+	f.gcEligible = append(f.gcEligible[:0], src.gcEligible...)
+	// candScratch is rebuilt on every GC invocation and carries no live
+	// data across calls; keep the recycled buffer, exactly as Clone
+	// starts with none.
+	f.inGC = src.inGC
+	f.gcBusyUntil = src.gcBusyUntil
+	f.gcHashEnd = src.gcHashEnd
+	switch {
+	case src.cmt == nil:
+		f.cmt = nil
+	case f.cmt == nil:
+		f.cmt = src.cmt.clone()
+	default:
+		f.cmt.copyFrom(src.cmt)
+	}
+	f.stats = src.stats
+	f.tr = src.tr
+	f.RefDist = src.RefDist
+	f.logicalPages = src.logicalPages
+}

@@ -90,3 +90,11 @@ func (m *revMap) clone() revMap {
 		free:  m.free,
 	}
 }
+
+// copyFrom overwrites m with src's state, reusing m's arrays.
+func (m *revMap) copyFrom(src *revMap) {
+	m.heads = append(m.heads[:0], src.heads...)
+	m.tails = append(m.tails[:0], src.tails...)
+	m.nodes = append(m.nodes[:0], src.nodes...)
+	m.free = src.free
+}

@@ -39,6 +39,8 @@ func trackName(t Track) string {
 		return "dedup-index"
 	case TrackSched:
 		return "scheduler"
+	case TrackFleet:
+		return "fleet"
 	}
 	if die, ok := IsDieTrack(t); ok {
 		return fmt.Sprintf("die %d", die)

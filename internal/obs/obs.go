@@ -46,6 +46,12 @@ const (
 	// depth samples during the replay, and the calendar's rotation /
 	// overflow-migration / stale-skip totals at the end of the run.
 	TrackSched Track = 5
+	// TrackFleet carries fleet-execution telemetry: one span per shard
+	// (the contiguous device range a worker ran), the final merge phase,
+	// and straggler instants for the devices the merge ranks slowest.
+	// Times on this track are harness wall-clock, not simulated time —
+	// the fleet engine runs many simulations, it is not inside one.
+	TrackFleet Track = 6
 
 	trackDieBase  Track = 100
 	trackHashBase Track = 10000
@@ -125,6 +131,11 @@ const (
 	KSchedOverflow  // overflow-ladder migrations (cumulative)
 	KSchedStale     // lazily-canceled items absorbed at pop (cumulative)
 
+	// Fleet execution (TrackFleet; wall-clock times).
+	KFleetShard     // span: one shard of devices run by a worker (arg = first device ID)
+	KFleetMerge     // span: the deterministic merge phase (arg = device count)
+	KFleetStraggler // instant: a straggler device ranked by the merge (arg = device ID)
+
 	numKinds
 )
 
@@ -171,6 +182,11 @@ var kindTable = [numKinds]kindInfo{
 	KSchedRotations: {name: "sched.rotations", ph: 'C', detached: true},
 	KSchedOverflow:  {name: "sched.overflow_migrations", ph: 'C', detached: true},
 	KSchedStale:     {name: "sched.stale_skipped", ph: 'C', detached: true},
+	// Fleet events are harness work around whole simulations, never
+	// nested inside any request scope.
+	KFleetShard:     {name: "fleet.shard", ph: 'X', detached: true},
+	KFleetMerge:     {name: "fleet.merge", ph: 'X', detached: true},
+	KFleetStraggler: {name: "fleet.straggler", ph: 'i', detached: true},
 }
 
 // Name returns the kind's fixed event name.

@@ -53,7 +53,7 @@ func RunBatch(runs []BatchRun, workers int) (results []*Result, errs []error) {
 			err error
 		)
 		if r.Snap != nil {
-			res, err = RunWarm(r.Snap, r.Cfg, r.Spec)
+			res, err = RunWarmRecycled(r.Snap, r.Cfg, r.Spec)
 		} else {
 			res, err = Run(r.Cfg, r.Spec)
 		}

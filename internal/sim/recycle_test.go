@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"cagc/internal/ftl"
+	"cagc/internal/trace"
+)
+
+// A recycled runner must be indistinguishable from a fresh clone: the
+// first RunWarmRecycled cuts a clone, releases it, and every later run
+// re-seeds that same runner via the CopyFrom chain. All of them must
+// reproduce a cold Run bit for bit — including with the full stateful
+// stack (write buffer, cached mapping table, stateful victim policy,
+// closed-loop replay), which exercises every CopyFrom in the tree.
+func TestRunWarmRecycledMatchesColdRun(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func(t *testing.T) (Config, trace.Spec)
+	}{
+		{"cagc", func(t *testing.T) (Config, trace.Spec) {
+			return snapConfig(t, ftl.CAGCOptions())
+		}},
+		{"all-layers", func(t *testing.T) (Config, trace.Spec) {
+			opts := ftl.CAGCOptions()
+			opts.Policy = ftl.NewRandomPolicy(7)
+			opts.MappingCache = 1024
+			cfg, spec := snapConfig(t, opts)
+			cfg.BufferPages = 32
+			cfg.QueueDepth = 8
+			return cfg, spec
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, spec := tc.cfg(t)
+			cold, err := Run(cfg, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapCfg, _ := tc.cfg(t)
+			snap, err := NewSnapshot(snapCfg, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			before := CloneGaugeStats()
+			for i := 0; i < 3; i++ {
+				runCfg, _ := tc.cfg(t)
+				warm, err := RunWarmRecycled(snap, runCfg, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(cold, warm) {
+					t.Fatalf("recycled run %d diverged from cold run:\ncold %v\nwarm %v", i, cold, warm)
+				}
+			}
+			after := CloneGaugeStats()
+			if fresh := after.Fresh - before.Fresh; fresh != 1 {
+				t.Fatalf("3 serial recycled runs cut %d fresh clones, want 1", fresh)
+			}
+			if rec := after.Recycled - before.Recycled; rec != 2 {
+				t.Fatalf("3 serial recycled runs recycled %d runners, want 2", rec)
+			}
+		})
+	}
+}
+
+// A recycled run with different measured parameters (seed, queue depth)
+// must match the cold run for those parameters — recycling cannot leak
+// the previous run's trace into the next.
+func TestRecycledRunnerCarriesNoRunState(t *testing.T) {
+	cfg, spec := snapConfig(t, ftl.CAGCOptions())
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime the free-list with a run on a different seed.
+	primed := spec
+	primed.Seed = 4242
+	if _, err := RunWarmRecycled(snap, cfg, primed); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Run(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunWarmRecycled(snap, cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Fatal("recycled runner leaked previous run state")
+	}
+	// And the master stayed pristine through the recycle churn.
+	again, err := RunWarmRecycled(snap, cfg, primed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldPrimed, err := Run(cfg, primed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldPrimed, again) {
+		t.Fatal("recycle churn mutated the snapshot master")
+	}
+}
+
+// The whole point of the free-list: a batch of N runs must never hold
+// more than workers+1 clones live at once, regardless of N. (The +1
+// allows for a released runner being re-seeded while another worker
+// holds its own — in practice peak == workers for this serial-release
+// pattern, but the bound is what the memory model needs.)
+func TestBatchCloneResidencyBoundedByWorkers(t *testing.T) {
+	cfg, spec := snapConfig(t, ftl.CAGCOptions())
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, workers = 12, 3
+	snap.SetFreeListCap(workers)
+	runs := make([]BatchRun, n)
+	for i := range runs {
+		s := spec
+		s.Seed = int64(i + 1)
+		runs[i] = BatchRun{Snap: snap, Cfg: cfg, Spec: s}
+	}
+	ResetCloneGauge()
+	before := CloneGaugeStats()
+	results, errs := RunBatch(runs, workers)
+	if errs != nil {
+		t.Fatalf("batch errors: %v", errs)
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("missing result %d", i)
+		}
+	}
+	after := CloneGaugeStats()
+	if after.Peak > workers+1 {
+		t.Fatalf("peak live clones %d exceeds workers+1 = %d for %d runs",
+			after.Peak, workers+1, n)
+	}
+	if total := after.Fresh - before.Fresh + after.Recycled - before.Recycled; total != n {
+		t.Fatalf("gauge saw %d acquires, want %d", total, n)
+	}
+	if after.Fresh-before.Fresh > workers {
+		t.Fatalf("batch cut %d fresh clones with %d workers; recycling is not engaging",
+			after.Fresh-before.Fresh, workers)
+	}
+	if after.Live != 0 {
+		t.Fatalf("%d clones still live after batch completed", after.Live)
+	}
+}

@@ -67,6 +67,13 @@ type Config struct {
 	Sched event.SchedKind
 }
 
+// Normalized returns the config with defaults applied — the exact
+// configuration a Runner built from c would use. Harnesses that derive
+// per-device variations (fleet utilization skew, watermark stagger)
+// normalize first so offsets apply to the real values, not to zero
+// placeholders.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Device.Geometry.PageSize == 0 {
 		c.Device = flash.ScaledConfig(64 << 20)

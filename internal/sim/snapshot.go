@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"cagc/internal/event"
 	"cagc/internal/trace"
@@ -18,11 +20,16 @@ import (
 // Snapshot is a preconditioned SSD frozen at its settle time. The
 // captured runner is pristine — it is only ever cloned, never replayed
 // directly — so every NewRunner call starts from the identical state.
-// Snapshot is safe for concurrent NewRunner calls once built.
+// Snapshot is safe for concurrent NewRunner / Acquire / Release calls
+// once built.
 type Snapshot struct {
 	cfg    Config     // normalized build configuration
 	offset event.Time // precondition settle time
 	master *Runner
+
+	mu      sync.Mutex // guards free
+	free    []*Runner  // recycled clones (see recycle.go)
+	freeCap int
 }
 
 // Clone returns a deep, independent copy of the runner: device, FTL,
@@ -68,7 +75,12 @@ func NewSnapshot(cfg Config, spec trace.Spec) (*Snapshot, error) {
 			return nil, err
 		}
 	}
-	return &Snapshot{cfg: cfg.withDefaults(), offset: offset, master: r}, nil
+	return &Snapshot{
+		cfg:     cfg.withDefaults(),
+		offset:  offset,
+		master:  r,
+		freeCap: runtime.GOMAXPROCS(0),
+	}, nil
 }
 
 // Offset returns the precondition settle time — the arrival-time shift
@@ -128,6 +140,13 @@ func RunWarm(snap *Snapshot, cfg Config, spec trace.Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return replayOn(r, snap.offset, spec)
+}
+
+// replayOn runs spec's measured trace on a warm runner and checks
+// post-run invariants — the shared back half of RunWarm and
+// RunWarmRecycled.
+func replayOn(r *Runner, offset event.Time, spec trace.Spec) (*Result, error) {
 	if spec.LogicalPages != r.LogicalPages() {
 		return nil, fmt.Errorf("sim: workload spec covers %d logical pages, device exports %d",
 			spec.LogicalPages, r.LogicalPages())
@@ -136,7 +155,7 @@ func RunWarm(snap *Snapshot, cfg Config, spec trace.Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := r.Replay(gen, snap.offset, spec.Name)
+	res, err := r.Replay(gen, offset, spec.Name)
 	if err != nil {
 		return nil, err
 	}

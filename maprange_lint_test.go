@@ -31,6 +31,7 @@ var mapRangeLintedPackages = []string{
 	"internal/dedup",
 	"internal/event",
 	"internal/flash",
+	"internal/fleet",
 	"internal/ftl",
 	"internal/obs",
 	"internal/sim",

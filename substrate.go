@@ -69,6 +69,11 @@ type SubstrateBench struct {
 	// core), reporting the aggregate events/sec-per-machine headline.
 	Batch BatchBench `json:"batch"`
 
+	// Fleet times the fleet-scale sharded execution engine: the same
+	// perturbed device population merged with one worker and with one
+	// worker per core, reporting devices/sec and the per-core aggregate.
+	Fleet FleetBench `json:"fleet"`
+
 	// History is the PR-over-PR trajectory: the numbers each earlier
 	// performance PR committed (pinned in substrateHistory, mined from
 	// this repository's own BENCH_substrate.json history), followed by
@@ -131,6 +136,37 @@ type BatchBench struct {
 	Speedup           float64 `json:"speedup"`              // SerialNs / BatchNs
 }
 
+// FleetBench records the fleet-engine comparison: one fixed perturbed
+// device population (utilization skew, GC stagger, diurnal arrival
+// phase; the shape is pinned in the fleetBench* constants) executed
+// with one worker and with one worker per core, both after a first
+// pass has built the class snapshots. Like BatchBench the tracked
+// numbers are per-core normalized — DevicesPerSecPerCore and
+// AggPerCore survive machines with different core counts — while
+// Speedup carries the machine-level win relative to NumCPU. PeakClones
+// is the clone-residency high-water mark of the parallel leg; the
+// free-list recycler bounds it by Workers+1 regardless of fleet size.
+type FleetBench struct {
+	Name              string `json:"name"`
+	Devices           int    `json:"devices"`
+	ShardSize         int    `json:"shard_size"`
+	RequestsPerDevice int    `json:"requests_per_device"`
+	Classes           int    `json:"classes"` // warm snapshots (util × stagger)
+	Workers           int    `json:"workers"` // workers in the parallel leg (NumCPU)
+	NumCPU            int    `json:"num_cpu"` // cores of the measuring machine
+	SerialNs          int64  `json:"serial_ns"`
+	FleetNs           int64  `json:"fleet_ns"`
+	Events            uint64 `json:"events"` // simulated events per leg (legs are identical)
+
+	DevicesPerSec        float64 `json:"devices_per_sec"` // parallel leg
+	DevicesPerSecPerCore float64 `json:"devices_per_sec_per_core"`
+	AggEventsPerSec      float64 `json:"agg_events_per_sec"`
+	AggPerCore           float64 `json:"agg_per_core"`
+	Speedup              float64 `json:"speedup"` // SerialNs / FleetNs
+
+	PeakClones int `json:"peak_clones"`
+}
+
 // HistoryRow is one (PR, workload) point of the substrate trajectory:
 // wall time, allocation count, and event throughput of a full cold run
 // at the canonical benchmark scale (-requests 6000, 16 MiB device).
@@ -157,12 +193,15 @@ var substrateHistory = []HistoryRow{
 	{PR: "PR 5", Change: "calendar-queue event scheduler, event-driven replay", Workload: "Mail", NsPerOp: 6886071, AllocsPerOp: 338, EventsPerSec: 7870089},
 	{PR: "PR 5", Change: "calendar-queue event scheduler, event-driven replay", Workload: "Homes", NsPerOp: 7285683, AllocsPerOp: 341, EventsPerSec: 9254176},
 	{PR: "PR 5", Change: "calendar-queue event scheduler, event-driven replay", Workload: "Web-vm", NsPerOp: 15821489, AllocsPerOp: 341, EventsPerSec: 10734513},
+	{PR: "PR 6", Change: "hybrid auto scheduler, batched multi-run engine, LRU snapshot registry", Workload: "Mail", NsPerOp: 5202171, AllocsPerOp: 302, EventsPerSec: 10417572.7},
+	{PR: "PR 6", Change: "hybrid auto scheduler, batched multi-run engine, LRU snapshot registry", Workload: "Homes", NsPerOp: 5623923, AllocsPerOp: 304, EventsPerSec: 11988606.5},
+	{PR: "PR 6", Change: "hybrid auto scheduler, batched multi-run engine, LRU snapshot registry", Workload: "Web-vm", NsPerOp: 12189873, AllocsPerOp: 315, EventsPerSec: 13932547.9},
 }
 
 // currentHistoryLabel names the rows this measurement contributes.
 const (
-	currentHistoryPR     = "PR 6"
-	currentHistoryChange = "hybrid auto scheduler, batched multi-run engine, LRU snapshot registry"
+	currentHistoryPR     = "PR 7"
+	currentHistoryChange = "fleet-scale sharded execution, clone free-list recycling"
 )
 
 // simulatedEvents tallies the discrete operations the substrate
@@ -220,6 +259,9 @@ func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*Substrate
 		return nil, err
 	}
 	if sb.Batch, err = measureBatch(w, s, policy, p); err != nil {
+		return nil, err
+	}
+	if sb.Fleet, err = measureFleet(w, s, policy, p); err != nil {
 		return nil, err
 	}
 	sb.History = append(sb.History, substrateHistory...)
@@ -407,6 +449,83 @@ func measureBatch(w Workload, s Scheme, policy string, p Params) (BatchBench, er
 		bb.Speedup = float64(bb.SerialNs) / float64(bb.BatchNs)
 	}
 	return bb, nil
+}
+
+// The fleet comparison shape is fixed like the sweep's so the recorded
+// trajectory is comparable across PRs: a small perturbed fleet at the
+// benchmark device scale, shards sized so parallelism is not capped by
+// shard count on machines up to 16 cores.
+const (
+	fleetBenchDevices  = 256
+	fleetBenchShard    = 16
+	fleetBenchRequests = 400
+	fleetBenchUtilCls  = 2
+	fleetBenchStagger  = 2
+	fleetBenchSpread   = 0.08
+	fleetBenchDiurnal  = 0.4
+)
+
+// measureFleet times the fleet engine against its own serial leg: the
+// identical device population merged with 1 worker and with NumCPU
+// workers. A first pass builds the class snapshots so both legs measure
+// execution, not preconditioning. It resets the process-wide cache and
+// the clone-residency gauge.
+func measureFleet(w Workload, s Scheme, policy string, p Params) (FleetBench, error) {
+	q := p
+	q.Requests = fleetBenchRequests
+	q.ColdStart = false
+	fp := FleetParams{
+		Devices:        fleetBenchDevices,
+		ShardSize:      fleetBenchShard,
+		UtilSpread:     fleetBenchSpread,
+		UtilClasses:    fleetBenchUtilCls,
+		StaggerClasses: fleetBenchStagger,
+		Diurnal:        fleetBenchDiurnal,
+	}
+	ResetWarmCache()
+	defer ResetWarmCache()
+	warm := fp
+	warm.Workers = 1
+	if _, err := RunFleet(w, s, policy, q, warm); err != nil { // build class snapshots
+		return FleetBench{}, err
+	}
+	serialFp := fp
+	serialFp.Workers = 1
+	serial, err := RunFleet(w, s, policy, q, serialFp)
+	if err != nil {
+		return FleetBench{}, err
+	}
+	parFp := fp
+	parFp.Workers = runtime.NumCPU()
+	sim.ResetCloneGauge()
+	par, err := RunFleet(w, s, policy, q, parFp)
+	if err != nil {
+		return FleetBench{}, err
+	}
+	fb := FleetBench{
+		Name: fmt.Sprintf("%s × %s × %s, %d devices, %d reqs/device, %d×%d classes (warm)",
+			w, s, policy, fleetBenchDevices, fleetBenchRequests, fleetBenchUtilCls, fleetBenchStagger),
+		Devices:           fleetBenchDevices,
+		ShardSize:         fleetBenchShard,
+		RequestsPerDevice: fleetBenchRequests,
+		Classes:           fleetBenchUtilCls * fleetBenchStagger,
+		Workers:           par.Workers,
+		NumCPU:            runtime.NumCPU(),
+		SerialNs:          serial.Wall.Nanoseconds(),
+		FleetNs:           par.Wall.Nanoseconds(),
+		Events:            par.Result.Events,
+		DevicesPerSec:     par.DevicesPerSec(),
+		AggEventsPerSec:   par.AggregateEventsPerSec(),
+		PeakClones:        sim.CloneGaugeStats().Peak,
+	}
+	if fb.Workers > 0 {
+		fb.DevicesPerSecPerCore = fb.DevicesPerSec / float64(fb.Workers)
+		fb.AggPerCore = fb.AggEventsPerSec / float64(fb.Workers)
+	}
+	if fb.FleetNs > 0 {
+		fb.Speedup = float64(fb.SerialNs) / float64(fb.FleetNs)
+	}
+	return fb, nil
 }
 
 // WriteBenchJSON emits the report as indented JSON.
