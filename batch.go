@@ -9,6 +9,9 @@ package cagc
 // one snapshot (built once, singleflight), results land in
 // index-addressed slots, and the batch reports the aggregate
 // events/sec-per-machine number the substrate trajectory tracks.
+// Dispatch is batch-aware (pool.Run): items are scheduled
+// longest-estimated-first from the shared pool.Cost model, with work
+// stealing so heterogeneous batches don't serialize behind a straggler.
 // Per-run output is byte-identical to calling Run in a loop, at any
 // worker count.
 
@@ -105,19 +108,29 @@ func RunBatch(items []BatchItem, workers int) *BatchResult {
 		Workers: workers,
 	}
 	start := time.Now()
-	b.Errs = pool.ForEach(len(items), workers, func(i int) error {
+	st := pool.Run(len(items), pool.Options{
+		Workers: workers,
+		Weight: func(i int) float64 {
+			p := items[i].Params.withDefaults()
+			return pool.Cost.Estimate(string(items[i].Workload), float64(p.Requests))
+		},
+	}, func(i int) error {
 		it := items[i]
 		policy := it.Policy
 		if policy == "" {
 			policy = "greedy"
 		}
+		t0 := time.Now()
 		res, err := Run(it.Workload, it.Scheme, policy, it.Params)
 		if err != nil {
 			return err
 		}
+		pool.Cost.Observe(string(it.Workload),
+			float64(it.Params.withDefaults().Requests), float64(time.Since(t0)))
 		b.Results[i] = res
 		return nil
 	})
+	b.Errs = st.Errs
 	b.Wall = time.Since(start)
 	for i, res := range b.Results {
 		if res != nil && (b.Errs == nil || b.Errs[i] == nil) {

@@ -77,6 +77,14 @@ func run() (retErr error) {
 	)
 	flag.Parse()
 
+	// Scheduling flags keep 0 as a "use the default" sentinel, so only
+	// explicitly-set bad values are rejected.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateSchedFlags(set, *fleetShard, *workers, *fleetTopK); err != nil {
+		return err
+	}
+
 	s, err := cagc.ParseScheme(*scheme)
 	if err != nil {
 		return err
@@ -263,6 +271,23 @@ func run() (retErr error) {
 	fmt.Println(cagc.TableIString(p))
 	fmt.Println()
 	cagc.FprintResult(os.Stdout, res)
+	return nil
+}
+
+// validateSchedFlags rejects explicitly-set scheduling flags outside
+// their domain. 0 stays the "default" sentinel for -fleet-shard (64),
+// -fleet-topk (10), and -workers (one per core), so only values the
+// user actually typed can fail.
+func validateSchedFlags(set map[string]bool, fleetShard, workers, fleetTopK int) error {
+	if set["fleet-shard"] && fleetShard <= 0 {
+		return fmt.Errorf("-fleet-shard %d: shard size must be positive", fleetShard)
+	}
+	if set["workers"] && workers < 0 {
+		return fmt.Errorf("-workers %d: worker count cannot be negative (0 = one per core)", workers)
+	}
+	if set["fleet-topk"] && fleetTopK < 0 {
+		return fmt.Errorf("-fleet-topk %d: straggler count cannot be negative (0 = default 10)", fleetTopK)
+	}
 	return nil
 }
 

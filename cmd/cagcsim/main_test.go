@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Explicitly-set scheduling flags outside their domain must fail with a
+// clear one-line error; unset flags (and their 0 sentinels) must not.
+func TestValidateSchedFlags(t *testing.T) {
+	cases := []struct {
+		name       string
+		set        map[string]bool
+		shard      int
+		workers    int
+		topK       int
+		wantErrSub string
+	}{
+		{name: "all defaults", set: map[string]bool{}},
+		{name: "zero sentinels unset", set: map[string]bool{}, shard: 0, workers: 0, topK: 0},
+		{name: "valid explicit", set: map[string]bool{"fleet-shard": true, "workers": true, "fleet-topk": true},
+			shard: 16, workers: 4, topK: 3},
+		{name: "explicit zero workers ok", set: map[string]bool{"workers": true}, workers: 0},
+		{name: "explicit zero topk ok", set: map[string]bool{"fleet-topk": true}, topK: 0},
+		{name: "zero shard explicit", set: map[string]bool{"fleet-shard": true}, shard: 0,
+			wantErrSub: "-fleet-shard 0"},
+		{name: "negative shard", set: map[string]bool{"fleet-shard": true}, shard: -5,
+			wantErrSub: "-fleet-shard -5"},
+		{name: "negative workers", set: map[string]bool{"workers": true}, workers: -1,
+			wantErrSub: "-workers -1"},
+		{name: "negative topk", set: map[string]bool{"fleet-topk": true}, topK: -2,
+			wantErrSub: "-fleet-topk -2"},
+		{name: "bad value but flag unset", set: map[string]bool{}, shard: -5, workers: -1, topK: -2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateSchedFlags(tc.set, tc.shard, tc.workers, tc.topK)
+			if tc.wantErrSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErrSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantErrSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErrSub)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("error is not one line: %q", err)
+			}
+		})
+	}
+}

@@ -45,6 +45,14 @@ type WriteBuffer struct {
 	ctrl  event.Time
 	stats Stats
 	tr    obs.Tracer // never nil; obs.Nop when tracing is off
+
+	// dirty is the buffer's coarse copy-on-write mark: true once the
+	// slot chain (lru list + index) has diverged from the snapshot
+	// master this buffer was seeded from. The chain is pointer-backed,
+	// so divergence is tracked whole rather than per chunk; stats and
+	// scalars are always refreshed at re-seed. Read misses leave the
+	// chain untouched and stay clean.
+	dirty bool
 }
 
 // New wraps f with a write-back buffer of capPages pages.
@@ -104,6 +112,34 @@ func (b *WriteBuffer) CopyFrom(src *WriteBuffer, f *ftl.FTL) {
 		s := *el.Value.(*slot)
 		b.index[s.lpn] = b.lru.PushBack(&s)
 	}
+	b.dirty = false // b's chain equals src's again
+}
+
+// MarkAllCOW forces the next CopyDirty onto the full rebuild path —
+// the differential reference for the dirty-vs-full fuzz tests.
+func (b *WriteBuffer) MarkAllCOW() { b.dirty = true }
+
+// slotCopyBytes is the accounted re-seed cost of one buffered page:
+// the slot value plus its list element and index entry.
+const slotCopyBytes = 64
+
+// CopyDirty re-seeds b from src bound to f. When the slot chain never
+// diverged from src (the coarse dirty flag is clear — e.g. a replay
+// that exercised no buffered configuration ops), only the scalars are
+// refreshed and the rebuild is skipped entirely; otherwise this is
+// CopyFrom. Returns the bytes copied; always indistinguishable from
+// CopyFrom.
+func (b *WriteBuffer) CopyDirty(src *WriteBuffer, f *ftl.FTL) int {
+	if !b.dirty {
+		b.f = f
+		b.cap = src.cap
+		b.ctrl = src.ctrl
+		b.stats = src.stats
+		b.tr = src.tr
+		return 0
+	}
+	b.CopyFrom(src, f)
+	return len(src.index) * slotCopyBytes
 }
 
 // Stats returns a copy of the counters.
@@ -119,6 +155,7 @@ func (b *WriteBuffer) FTL() *ftl.FTL { return b.f }
 // a full buffer evicts its least-recently-used page to flash in the
 // background (the user response is not gated on the flush).
 func (b *WriteBuffer) Write(at event.Time, lpn uint64, fp dedup.Fingerprint) (event.Time, error) {
+	b.dirty = true
 	if el, ok := b.index[lpn]; ok {
 		el.Value.(*slot).fp = fp
 		b.lru.MoveToFront(el)
@@ -148,6 +185,7 @@ func (b *WriteBuffer) Write(at event.Time, lpn uint64, fp dedup.Fingerprint) (ev
 // Read serves from the buffer when the page is resident.
 func (b *WriteBuffer) Read(at event.Time, lpn uint64) (event.Time, error) {
 	if el, ok := b.index[lpn]; ok {
+		b.dirty = true
 		b.lru.MoveToFront(el)
 		b.stats.ReadHits++
 		b.tr.Instant(obs.TrackBuffer, obs.KBufHit, at, lpn)
@@ -160,6 +198,7 @@ func (b *WriteBuffer) Read(at event.Time, lpn uint64) (event.Time, error) {
 // Trim discards any buffered copy and trims the flash mapping.
 func (b *WriteBuffer) Trim(at event.Time, lpn uint64) (event.Time, error) {
 	if el, ok := b.index[lpn]; ok {
+		b.dirty = true
 		b.lru.Remove(el)
 		delete(b.index, lpn)
 		b.stats.TrimDrops++
@@ -171,6 +210,9 @@ func (b *WriteBuffer) Trim(at event.Time, lpn uint64) (event.Time, error) {
 // semantics) and returns the completion time of the last write.
 func (b *WriteBuffer) Flush(at event.Time) (event.Time, error) {
 	done := at
+	if b.lru.Len() > 0 {
+		b.dirty = true
+	}
 	for b.lru.Len() > 0 {
 		el := b.lru.Back()
 		s := el.Value.(*slot)

@@ -1,0 +1,154 @@
+// Package cow provides the chunked copy-on-write machinery behind the
+// warm-snapshot clone recycler: a per-array dirty bitmap over fixed
+// power-of-two chunks, and copy helpers that re-seed only the chunks a
+// run actually touched.
+//
+// The contract mirrors the recycler's: a runner is seeded from an
+// immutable snapshot master and, at that instant, is bit-identical to
+// it. Every subsequent write to a tracked array marks the enclosing
+// chunk; at the next re-seed only marked chunks are copied back from
+// the master, and the bitmap is cleared — the runner equals the master
+// again. Clean chunks are never touched, so re-seed cost is O(dirty),
+// not O(state).
+//
+// Arrays that can grow (append-only arenas, free stacks) stay safe
+// under this scheme because append never mutates the existing prefix:
+// elements past the master's length are simply truncated away at
+// re-seed, and a reallocating append copies the clean prefix verbatim.
+// Structures that *relocate* elements (an open-addressed table growing,
+// which rehashes every slot) must call MarkAll — the all-dirty state
+// degrades to the full copy, which is also the differential reference
+// the fuzz tests compare against.
+//
+// A nil *Tracker is valid everywhere and means "untracked": marks are
+// no-ops and every copy helper falls back to the full copy, so code
+// paths that never recycle (cold runs, plain warm clones) pay one
+// predictable nil-check per write and nothing else.
+package cow
+
+import (
+	"math/bits"
+	"unsafe"
+)
+
+// Tracker records which fixed-size chunks of one flat array have
+// diverged from the snapshot master since the last re-seed. Chunk c
+// covers elements [c<<shift, (c+1)<<shift). The zero chunk count is
+// valid; the bitmap grows lazily as high indices are marked.
+type Tracker struct {
+	shift uint     // log2(elements per chunk)
+	words []uint64 // chunk dirty bits
+	all   bool     // everything diverged (structural change)
+}
+
+// NewTracker returns a tracker whose chunks span 1<<shift elements.
+func NewTracker(shift uint) *Tracker { return &Tracker{shift: shift} }
+
+// Mark records element i's chunk as dirty. Safe on a nil tracker.
+func (t *Tracker) Mark(i int) {
+	if t == nil || t.all {
+		return
+	}
+	c := uint(i) >> t.shift
+	w := int(c >> 6)
+	if w >= len(t.words) {
+		t.growWords(w)
+	}
+	t.words[w] |= 1 << (c & 63)
+}
+
+// MarkRange records every chunk covering elements [lo, hi) as dirty.
+// Safe on a nil tracker.
+func (t *Tracker) MarkRange(lo, hi int) {
+	if t == nil || t.all || hi <= lo {
+		return
+	}
+	for c := lo >> t.shift; c <= (hi-1)>>t.shift; c++ {
+		w := c >> 6
+		if w >= len(t.words) {
+			t.growWords(w)
+		}
+		t.words[w] |= 1 << (uint(c) & 63)
+	}
+}
+
+func (t *Tracker) growWords(w int) {
+	for len(t.words) <= w {
+		t.words = append(t.words, 0)
+	}
+}
+
+// MarkAll records the whole array as diverged — the escape hatch for
+// structural changes (rehash, reshape) that relocate elements across
+// chunks. Safe on a nil tracker.
+func (t *Tracker) MarkAll() {
+	if t == nil {
+		return
+	}
+	t.all = true
+}
+
+// All reports whether the tracker is in the all-dirty state. A nil
+// tracker reports true: untracked arrays always take the full copy.
+func (t *Tracker) All() bool { return t == nil || t.all }
+
+// Reset clears every mark: the tracked array equals the master again.
+// The bitmap's backing is kept so steady-state marking stays
+// allocation-free. Safe on a nil tracker.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	clear(t.words)
+	t.words = t.words[:0]
+	t.all = false
+}
+
+// Chunks calls fn for every dirty chunk index in ascending order. It
+// must not be called in the all-dirty state (use All first); fn must
+// not mark.
+func (t *Tracker) Chunks(fn func(chunk int)) {
+	for w, word := range t.words {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			fn(w<<6 + b)
+		}
+	}
+}
+
+// CopySlice re-seeds dst from src, copying only dirty chunks, and
+// returns the bytes copied. dst must have been seeded from src at the
+// tracker's last Reset and only diverged at marked chunks (plus
+// appended growth past len(src), which is truncated away). A nil or
+// all-dirty tracker — or a dst shorter than src, which the recycler
+// never produces — degrades to the full copy. The tracker is not
+// reset; callers reset once per re-seed.
+func CopySlice[T any](t *Tracker, dst *[]T, src []T) int {
+	size := int(unsafe.Sizeof(*new(T)))
+	if t.All() || len(*dst) < len(src) {
+		*dst = append((*dst)[:0], src...)
+		return len(src) * size
+	}
+	d := (*dst)[:len(src)]
+	*dst = d
+	chunk := 1 << t.shift
+	copied := 0
+	t.Chunks(func(c int) {
+		lo := c << t.shift
+		if lo >= len(src) {
+			return
+		}
+		hi := min(lo+chunk, len(src))
+		copied += copy(d[lo:hi], src[lo:hi]) * size
+	})
+	return copied
+}
+
+// CopyAll is the unconditional flat copy with the same byte accounting
+// as CopySlice — used for the small always-copied arrays so the two
+// re-seed paths report comparable byte totals.
+func CopyAll[T any](dst *[]T, src []T) int {
+	*dst = append((*dst)[:0], src...)
+	return len(src) * int(unsafe.Sizeof(*new(T)))
+}

@@ -1,0 +1,140 @@
+package cow
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The tracker's whole contract in one differential harness: a dst
+// seeded from src, mutated at marked indices, must equal src again
+// after CopySlice — and the bytes copied must cover exactly the dirty
+// chunks.
+func TestCopySliceRestoresDirtyChunks(t *testing.T) {
+	const shift, n = 3, 100 // 8-element chunks, ragged tail
+	src := make([]int64, n)
+	for i := range src {
+		src[i] = int64(i)
+	}
+	tr := NewTracker(shift)
+	dst := append([]int64(nil), src...)
+
+	dirty := []int{0, 7, 8, 42, 99} // chunks 0, 0, 1, 5, 12
+	for _, i := range dirty {
+		dst[i] = -1
+		tr.Mark(i)
+	}
+	copied := CopySlice(tr, &dst, src)
+	if !reflect.DeepEqual(dst, src) {
+		t.Fatal("dirty-chunk copy did not restore dst to src")
+	}
+	// Chunks {0,1,5,12}; chunk 12 is the 4-element tail (96..99).
+	want := (3*8 + 4) * 8
+	if copied != want {
+		t.Fatalf("copied %d bytes, want %d", copied, want)
+	}
+	// After Reset the tracker is clean: nothing is copied.
+	tr.Reset()
+	if copied := CopySlice(tr, &dst, src); copied != 0 {
+		t.Fatalf("clean tracker copied %d bytes, want 0", copied)
+	}
+}
+
+func TestMarkRangeAndChunkOrder(t *testing.T) {
+	tr := NewTracker(4) // 16-element chunks
+	tr.MarkRange(30, 70)
+	tr.Mark(1000)
+	var got []int
+	tr.Chunks(func(c int) { got = append(got, c) })
+	want := []int{1, 2, 3, 4, 62} // chunks covering [30,70) plus 1000>>4
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dirty chunks %v, want %v", got, want)
+	}
+	tr.MarkRange(5, 5) // empty range marks nothing
+	var after []int
+	tr.Chunks(func(c int) { after = append(after, c) })
+	if !reflect.DeepEqual(after, want) {
+		t.Fatalf("empty MarkRange changed dirty set: %v", after)
+	}
+}
+
+// Appended growth past the master's length is truncated away, and a
+// dst that somehow shrank below the master degrades to the full copy.
+func TestCopySliceLengthRules(t *testing.T) {
+	src := []uint32{1, 2, 3, 4}
+	tr := NewTracker(1)
+	grown := append(append([]uint32(nil), src...), 9, 9, 9)
+	if copied := CopySlice(tr, &grown, src); copied != 0 {
+		t.Fatalf("truncation-only re-seed copied %d bytes, want 0", copied)
+	}
+	if !reflect.DeepEqual(grown, src) {
+		t.Fatalf("grown dst not truncated to master: %v", grown)
+	}
+	short := []uint32{7}
+	if copied := CopySlice(tr, &short, src); copied != len(src)*4 {
+		t.Fatalf("short dst copied %d bytes, want full %d", copied, len(src)*4)
+	}
+	if !reflect.DeepEqual(short, src) {
+		t.Fatalf("short dst not fully re-seeded: %v", short)
+	}
+}
+
+// MarkAll, All, and the nil tracker all mean "full copy".
+func TestAllDirtyAndNilDegradeToFullCopy(t *testing.T) {
+	src := []byte{1, 2, 3}
+	tr := NewTracker(2)
+	tr.MarkAll()
+	if !tr.All() {
+		t.Fatal("MarkAll did not set the all-dirty state")
+	}
+	dst := []byte{9, 9, 9}
+	if copied := CopySlice(tr, &dst, src); copied != len(src) {
+		t.Fatalf("all-dirty copied %d bytes, want %d", copied, len(src))
+	}
+	tr.Reset()
+	if tr.All() {
+		t.Fatal("Reset did not clear the all-dirty state")
+	}
+
+	var nilTr *Tracker
+	nilTr.Mark(3)           // no-ops, must not panic
+	nilTr.MarkRange(0, 100) //
+	nilTr.MarkAll()         //
+	nilTr.Reset()           //
+	if !nilTr.All() {
+		t.Fatal("nil tracker must report all-dirty")
+	}
+	dst = []byte{0, 0, 0}
+	if copied := CopySlice(nilTr, &dst, src); copied != len(src) {
+		t.Fatalf("nil tracker copied %d bytes, want full %d", copied, len(src))
+	}
+	if !reflect.DeepEqual(dst, src) {
+		t.Fatal("nil-tracker copy did not restore dst")
+	}
+}
+
+func TestCopyAllAccounting(t *testing.T) {
+	src := []uint64{1, 2, 3}
+	var dst []uint64
+	if copied := CopyAll(&dst, src); copied != 3*8 {
+		t.Fatalf("CopyAll reported %d bytes, want %d", copied, 3*8)
+	}
+	if !reflect.DeepEqual(dst, src) {
+		t.Fatal("CopyAll did not copy src")
+	}
+}
+
+// Steady-state marking must not allocate once the bitmap has grown to
+// cover the array — the mark sits on the simulator's hot write path.
+func TestMarkAllocationFree(t *testing.T) {
+	tr := NewTracker(6)
+	tr.Mark(1 << 20) // grow the bitmap once
+	tr.Reset()       // Reset keeps the backing array
+	if avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1<<20; i += 1 << 10 {
+			tr.Mark(i)
+		}
+		tr.Reset()
+	}); avg != 0 {
+		t.Fatalf("steady-state Mark/Reset allocates %.1f objects per run", avg)
+	}
+}

@@ -1,6 +1,10 @@
 package dedup
 
-import "slices"
+import (
+	"slices"
+
+	"cagc/internal/cow"
+)
 
 // Clone returns a deep, independent copy of the index: entries,
 // fingerprint table, free-CID stack, and counters. Because the
@@ -32,4 +36,39 @@ func (x *Index) CopyFrom(src *Index) {
 	x.stats = src.stats
 	x.capacity = src.capacity
 	x.lruOn = src.lruOn
+	x.track.Reset() // x equals src everywhere again
+}
+
+// EnableCOW turns on divergence tracking on the entry array and the
+// fingerprint table so CopyDirty can re-seed this index from its
+// snapshot master by copying only the chunks a run touched. Idempotent;
+// Clone never inherits tracking.
+func (x *Index) EnableCOW() {
+	if x.track == nil {
+		x.track = cow.NewTracker(entryChunkShift)
+	}
+	x.byFP.Track()
+}
+
+// MarkAllCOW forces the next CopyDirty onto the full-copy path — the
+// differential reference for the dirty-vs-full fuzz tests.
+func (x *Index) MarkAllCOW() {
+	x.track.MarkAll()
+	x.byFP.MarkAllCOW()
+}
+
+// CopyDirty re-seeds x from src, copying only dirty entry chunks and
+// fingerprint-table chunks, and returns the bytes copied. The free-CID
+// stack (pop/push churn, not prefix-clean) and the scalar counters are
+// always copied. Indistinguishable from CopyFrom.
+func (x *Index) CopyDirty(src *Index) int {
+	n := x.byFP.CopyDirty(src.byFP)
+	n += cow.CopySlice(x.track, &x.entries, src.entries)
+	x.track.Reset()
+	n += cow.CopyAll(&x.freeIDs, src.freeIDs)
+	x.live = src.live
+	x.stats = src.stats
+	x.capacity = src.capacity
+	x.lruOn = src.lruOn
+	return n
 }

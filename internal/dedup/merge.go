@@ -29,6 +29,7 @@ func (x *Index) InsertUnindexed(fp Fingerprint, ppn flash.PPN) CID {
 		x.entries = append(x.entries, entry{})
 	}
 	x.entries[c] = entry{fp: fp, ppn: ppn, ref: 1, peak: 1, unindexed: true}
+	x.track.Mark(int(c))
 	x.live++
 	x.stats.Inserts++
 	if x.live > x.stats.PeakCount {
@@ -62,6 +63,7 @@ func (x *Index) Publish(c CID) error {
 		return fmt.Errorf("dedup: Publish of duplicate fingerprint %#x (merge instead)", uint64(e.fp))
 	}
 	e.unindexed = false
+	x.track.Mark(int(c))
 	s := x.byFP.Put(uint64(e.fp), c)
 	x.trackIndexed(s)
 	return nil
@@ -93,6 +95,7 @@ func (x *Index) MergeInto(from, to CID) (int, error) {
 	if et.ref > et.peak {
 		et.peak = et.ref
 	}
+	x.track.Mark(int(to))
 	x.touch(to)
 	// Remove from. It is unindexed in the common (CAGC) path; if it was
 	// indexed this is a caller bug because two indexed entries can never
@@ -101,6 +104,7 @@ func (x *Index) MergeInto(from, to CID) (int, error) {
 		return 0, fmt.Errorf("dedup: merge source CID %d is indexed", from)
 	}
 	ef.ref = 0
+	x.track.Mark(int(from))
 	x.freeIDs = append(x.freeIDs, from)
 	x.live--
 	x.stats.Removals++

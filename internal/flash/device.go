@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cagc/internal/cow"
 	"cagc/internal/event"
 	"cagc/internal/obs"
 )
@@ -48,6 +49,12 @@ type Device struct {
 	tr obs.Tracer // never nil; obs.Nop when tracing is off
 
 	now event.Time // latest operation time observed, for block ages
+
+	// track, when non-nil, records which blocks diverged from the
+	// snapshot master this device was seeded from (chunk = one block:
+	// page-state and OOB-tag mutations are block-grained anyway).
+	// CopyDirty re-copies only those blocks.
+	track *cow.Tracker
 }
 
 // NewDevice builds a device in the all-erased state.
@@ -178,6 +185,7 @@ func (d *Device) ProgramPage(at, dataReady event.Time, p PPN, tag uint64) (event
 	blk.writePtr++
 	blk.validCnt++
 	blk.lastProgram = int64(end)
+	d.track.Mark(int(b))
 	d.stats.PagePrograms++
 	d.observe(end)
 	return end, nil
@@ -190,7 +198,8 @@ func (d *Device) Invalidate(p PPN) error {
 		return err
 	}
 	g := d.cfg.Geometry
-	blk := &d.blocks[g.BlockOf(p)]
+	b := g.BlockOf(p)
+	blk := &d.blocks[b]
 	idx := g.PageIndexOf(p)
 	if blk.states[idx] != PageValid {
 		return fmt.Errorf("%w: ppn %d is %v", ErrNotInvalid, p, blk.states[idx])
@@ -198,6 +207,7 @@ func (d *Device) Invalidate(p PPN) error {
 	blk.states[idx] = PageInvalid
 	blk.validCnt--
 	blk.invalidCnt++
+	d.track.Mark(int(b))
 	return nil
 }
 
@@ -228,6 +238,7 @@ func (d *Device) EraseBlock(at, migrated event.Time, b BlockID) (event.Time, err
 	blk.writePtr = 0
 	blk.invalidCnt = 0
 	blk.eraseCnt++
+	d.track.Mark(int(b))
 	d.stats.BlockErases++
 	d.observe(end)
 	return end, nil

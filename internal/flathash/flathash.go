@@ -40,7 +40,12 @@
 // them immediately, never store them.
 package flathash
 
-import "slices"
+import (
+	"slices"
+	"unsafe"
+
+	"cagc/internal/cow"
+)
 
 // List-link sentinels. A slot's prev field doubles as the membership
 // marker: unlinked means "not on the recency list" (distinct from being
@@ -55,6 +60,10 @@ const (
 
 // minSlots keeps the smallest table one cache line's worth of slots.
 const minSlots = 8
+
+// slotChunkShift sizes the dirty-tracking chunks: 64 slots (~1.5 KB for
+// V = uint32) per chunk balances bitmap size against copy granularity.
+const slotChunkShift = 6
 
 // slot is one table cell. With V = uint32 a slot is 24 bytes, so a
 // probe cluster of several entries fits in two cache lines.
@@ -76,6 +85,12 @@ type Map[V any] struct {
 	head  int32  // most recently used, NilSlot when list empty
 	tail  int32  // least recently used, NilSlot when list empty
 	nlist int    // entries currently on the recency list
+
+	// track, when non-nil, records which slot chunks diverged from the
+	// snapshot master this table was seeded from; CopyDirty re-copies
+	// only those. Belongs to this table, never shared: Clone starts the
+	// copy untracked, CopyFrom/CopyDirty keep the destination's tracker.
+	track *cow.Tracker
 }
 
 // New returns a table pre-sized so that hint entries fit without
@@ -147,6 +162,7 @@ func (m *Map[V]) Get(key uint64) (int32, bool) {
 func (m *Map[V]) Put(key uint64, val V) int32 {
 	if i, ok := m.Get(key); ok {
 		m.slots[i].val = val
+		m.track.Mark(int(i))
 		return i
 	}
 	if (m.n+1)*4 > len(m.slots)*3 {
@@ -157,6 +173,7 @@ func (m *Map[V]) Put(key uint64, val V) int32 {
 		i = (i + 1) & m.mask
 	}
 	m.slots[i] = slot[V]{key: key, val: val, prev: unlinked, next: unlinked, used: true}
+	m.track.Mark(int(i))
 	m.n++
 	return int32(i)
 }
@@ -196,6 +213,7 @@ func (m *Map[V]) deleteSlot(i uint64) {
 	var zero slot[V]
 	zero.prev, zero.next = unlinked, unlinked
 	m.slots[i] = zero
+	m.track.Mark(int(i))
 	m.n--
 }
 
@@ -205,6 +223,7 @@ func (m *Map[V]) deleteSlot(i uint64) {
 func (m *Map[V]) moveSlot(from, to uint64) {
 	s := m.slots[from]
 	m.slots[to] = s
+	m.track.Mark(int(to))
 	if s.prev == unlinked {
 		return
 	}
@@ -212,17 +231,21 @@ func (m *Map[V]) moveSlot(from, to uint64) {
 		m.head = int32(to)
 	} else {
 		m.slots[s.prev].next = int32(to)
+		m.track.Mark(int(s.prev))
 	}
 	if s.next == NilSlot {
 		m.tail = int32(to)
 	} else {
 		m.slots[s.next].prev = int32(to)
+		m.track.Mark(int(s.next))
 	}
 }
 
 // grow doubles the table. Entries are re-probed into the new array;
-// the recency list is rebuilt in its exact prior order.
+// the recency list is rebuilt in its exact prior order. Every entry
+// relocates, so chunk-level divergence tracking gives up: MarkAll.
 func (m *Map[V]) grow() {
+	m.track.MarkAll()
 	old := m.slots
 	oldHead := m.head
 	m.init(len(old) * 2)
@@ -253,8 +276,12 @@ func (m *Map[V]) grow() {
 func (m *Map[V]) Key(i int32) uint64 { return m.slots[i].key }
 
 // At returns a pointer to slot i's value, valid until the next
-// mutating call.
-func (m *Map[V]) At(i int32) *V { return &m.slots[i].val }
+// mutating call. The pointer is writable, so the slot is conservatively
+// marked dirty — callers that only read pay one bitmap store.
+func (m *Map[V]) At(i int32) *V {
+	m.track.Mark(int(i))
+	return &m.slots[i].val
+}
 
 // --- intrusive recency list ---
 
@@ -281,8 +308,10 @@ func (m *Map[V]) PushFront(i int32) {
 	s := &m.slots[i]
 	s.prev = NilSlot
 	s.next = m.head
+	m.track.Mark(int(i))
 	if m.head != NilSlot {
 		m.slots[m.head].prev = i
+		m.track.Mark(int(m.head))
 	}
 	m.head = i
 	if m.tail == NilSlot {
@@ -295,8 +324,10 @@ func (m *Map[V]) pushBack(i int32) {
 	s := &m.slots[i]
 	s.next = NilSlot
 	s.prev = m.tail
+	m.track.Mark(int(i))
 	if m.tail != NilSlot {
 		m.slots[m.tail].next = i
+		m.track.Mark(int(m.tail))
 	}
 	m.tail = i
 	if m.head == NilSlot {
@@ -328,13 +359,16 @@ func (m *Map[V]) unlink(i int32) {
 		m.head = s.next
 	} else {
 		m.slots[s.prev].next = s.next
+		m.track.Mark(int(s.prev))
 	}
 	if s.next == NilSlot {
 		m.tail = s.prev
 	} else {
 		m.slots[s.next].prev = s.prev
+		m.track.Mark(int(s.next))
 	}
 	s.prev, s.next = unlinked, unlinked
+	m.track.Mark(int(i))
 	m.nlist--
 }
 
@@ -344,6 +378,7 @@ func (m *Map[V]) unlink(i int32) {
 func (m *Map[V]) Clone() *Map[V] {
 	c := *m
 	c.slots = slices.Clone(m.slots)
+	c.track = nil // divergence tracking is per-table, never inherited
 	return &c
 }
 
@@ -351,8 +386,45 @@ func (m *Map[V]) Clone() *Map[V] {
 // its capacity suffices — the recycled-clone path of the warm-state
 // free-list, which turns the per-run table copy into a pure memmove
 // after the first clone. The result is indistinguishable from Clone.
+// m keeps its own tracker (reset: m now equals src everywhere).
 func (m *Map[V]) CopyFrom(src *Map[V]) {
-	slots := m.slots[:0]
+	slots, track := m.slots[:0], m.track
 	*m = *src
 	m.slots = append(slots, src.slots...)
+	m.track = track
+	track.Reset()
+}
+
+// Track enables chunk-level divergence tracking so CopyDirty can
+// re-seed this table from its snapshot master by copying only the slot
+// chunks that changed. Idempotent; cold tables never call it and pay
+// only nil-checks at the mark sites.
+func (m *Map[V]) Track() {
+	if m.track == nil {
+		m.track = cow.NewTracker(slotChunkShift)
+	}
+}
+
+// MarkAllCOW forces the next CopyDirty onto the full-copy path — the
+// differential reference the fuzz tests compare the dirty path against.
+func (m *Map[V]) MarkAllCOW() { m.track.MarkAll() }
+
+// CopyDirty re-seeds m from src, copying only the slot chunks m
+// dirtied since it last equaled src, and returns the bytes copied.
+// Untracked, all-dirty (the table grew), or shape-changed tables fall
+// back to the full CopyFrom with full-copy byte accounting. The result
+// is always indistinguishable from CopyFrom.
+func (m *Map[V]) CopyDirty(src *Map[V]) int {
+	slotBytes := int(unsafe.Sizeof(slot[V]{}))
+	if m.track.All() || len(m.slots) != len(src.slots) {
+		m.CopyFrom(src)
+		return len(src.slots) * slotBytes
+	}
+	slots, track := m.slots, m.track
+	*m = *src
+	m.slots = slots
+	m.track = track
+	n := cow.CopySlice(track, &m.slots, src.slots)
+	track.Reset()
+	return n
 }

@@ -31,6 +31,7 @@ package fleet
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"time"
 
@@ -402,8 +403,12 @@ func (c *classes) runDevice(dev int, acc *shardAcc) error {
 }
 
 // Run executes the fleet: build the class snapshots, shard the device
-// range over the worker pool, and fold the shard accumulators in shard
-// order into the deterministic fleet Result.
+// range over the worker pool (batch-aware: shards dispatch
+// longest-estimated-first with work stealing, so tail shards backfill
+// worker stalls), and fold the shard accumulators in shard order into
+// the deterministic fleet Result. Scheduling facts — steals, recycled
+// re-seeds — are wall-clock telemetry on the scheduler track; they
+// never enter the Result.
 func Run(cfg Config) (*Result, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
@@ -415,29 +420,56 @@ func Run(cfg Config) (*Result, error) {
 	}
 	start := time.Now()
 	wall := func() event.Time { return event.Time(time.Since(start)) }
+	reseeds0 := sim.CloneGaugeStats().Reseeds
 
+	// One accumulator per shard (a value slice: shardAcc embeds three
+	// fixed-size histograms, so pointer-per-shard would be one large
+	// allocation per shard) and one shared DeviceSummary backing array.
+	// Each shard appends into its own three-index window — disjoint
+	// capacity-capped ranges, so concurrent shard appends never touch a
+	// neighbor and the filled array is already in device-ID order.
 	numShards := (cfg.Devices + cfg.ShardSize - 1) / cfg.ShardSize
-	accs := make([]*shardAcc, numShards)
-	errs := pool.ForEach(numShards, cfg.Workers, func(i int) error {
+	accs := make([]shardAcc, numShards)
+	all := make([]DeviceSummary, cfg.Devices)
+	for i := range accs {
+		first := i * cfg.ShardSize
+		last := min(first+cfg.ShardSize, cfg.Devices)
+		accs[i].devices = all[first:first:last]
+	}
+	shardEvents := func(i int) float64 {
+		first := i * cfg.ShardSize
+		last := min(first+cfg.ShardSize, cfg.Devices)
+		return float64(last-first) * float64(cfg.Spec.Requests)
+	}
+	st := pool.Run(numShards, pool.Options{
+		Workers: cfg.Workers,
+		Weight: func(i int) float64 {
+			return pool.Cost.Estimate(cfg.Spec.Name, shardEvents(i))
+		},
+	}, func(i int) error {
 		first := i * cfg.ShardSize
 		last := min(first+cfg.ShardSize, cfg.Devices)
 		t0 := wall()
-		acc := &shardAcc{devices: make([]DeviceSummary, 0, last-first)}
+		acc := &accs[i]
 		for dev := first; dev < last; dev++ {
 			if err := cl.runDevice(dev, acc); err != nil {
 				return err
 			}
 		}
-		accs[i] = acc
-		cfg.Tracer.Span(obs.TrackFleet, obs.KFleetShard, t0, wall(), uint64(first))
+		t1 := wall()
+		pool.Cost.Observe(cfg.Spec.Name, shardEvents(i), float64(t1-t0))
+		cfg.Tracer.Span(obs.TrackFleet, obs.KFleetShard, t0, t1, uint64(first))
 		return nil
 	})
-	if err := pool.First(errs); err != nil {
+	if err := pool.First(st.Errs); err != nil {
 		return nil, err
 	}
+	cfg.Tracer.Counter(obs.TrackSched, obs.KSchedSteal, wall(), st.Steals)
+	cfg.Tracer.Counter(obs.TrackSched, obs.KSchedReseed, wall(),
+		sim.CloneGaugeStats().Reseeds-reseeds0)
 
 	mergeStart := wall()
-	res := mergeShards(cfg, accs)
+	res := mergeShards(cfg, accs, all)
 	cfg.Tracer.Span(obs.TrackFleet, obs.KFleetMerge, mergeStart, wall(), uint64(cfg.Devices))
 	for _, d := range res.Stragglers {
 		cfg.Tracer.Instant(obs.TrackFleet, obs.KFleetStraggler, wall(), uint64(d.ID))
@@ -447,32 +479,37 @@ func Run(cfg Config) (*Result, error) {
 
 // mergeShards folds the shard accumulators in shard-index order — the
 // single ordered reduction that makes the fleet Result independent of
-// worker scheduling.
-func mergeShards(cfg Config, accs []*shardAcc) *Result {
+// worker scheduling. all is the shared DeviceSummary backing array the
+// shards appended into; the shards cover it exactly in ID order, so it
+// is adopted as PerDevice without copying. The fold allocates a fixed
+// handful of slices regardless of shard count — a shape
+// TestMergeShardsAllocs pins.
+func mergeShards(cfg Config, accs []shardAcc, all []DeviceSummary) *Result {
 	res := &Result{
 		Devices:        cfg.Devices,
 		Seed:           cfg.Seed,
 		UtilClasses:    cfg.UtilClasses,
 		StaggerClasses: cfg.StaggerClasses,
-		PerDevice:      make([]DeviceSummary, 0, cfg.Devices),
+		PerDevice:      all,
 	}
-	var all, read, write metrics.Histogram
-	for _, acc := range accs {
-		all.Merge(&acc.all)
+	var lat, read, write metrics.Histogram
+	for i := range accs {
+		acc := &accs[i]
+		lat.Merge(&acc.all)
 		read.Merge(&acc.read)
 		write.Merge(&acc.write)
 		res.Requests += acc.requests
 		res.Events += acc.events
-		res.PerDevice = append(res.PerDevice, acc.devices...)
 	}
-	res.Latency = latencyDist(&all)
+	res.Latency = latencyDist(&lat)
 	res.ReadLatency = latencyDist(&read)
 	res.WriteLatency = latencyDist(&write)
 
+	// One consolidated scratch buffer for the three per-device scalar
+	// distributions instead of three per-fold allocations.
 	n := len(res.PerDevice)
-	was := make([]float64, n)
-	erases := make([]float64, n)
-	p99s := make([]float64, n)
+	scratch := make([]float64, 3*n)
+	was, erases, p99s := scratch[:n:n], scratch[n:2*n:2*n], scratch[2*n:]
 	for i, d := range res.PerDevice {
 		was[i] = d.WA
 		erases[i] = float64(d.Erases)
@@ -483,7 +520,8 @@ func mergeShards(cfg Config, accs []*shardAcc) *Result {
 	res.DeviceP99 = deviceDist(p99s)
 
 	// Straggler ranking: slowest per-device p99 first, IDs ascending on
-	// ties — a total order, so the ranking is unique.
+	// ties — a total order, so the ranking is unique. The TopK result is
+	// re-sliced to its own array so the full ranking can be collected.
 	ranked := make([]DeviceSummary, n)
 	copy(ranked, res.PerDevice)
 	sort.Slice(ranked, func(i, j int) bool {
@@ -492,7 +530,7 @@ func mergeShards(cfg Config, accs []*shardAcc) *Result {
 		}
 		return ranked[i].ID < ranked[j].ID
 	})
-	res.Stragglers = ranked[:cfg.TopK]
+	res.Stragglers = slices.Clone(ranked[:cfg.TopK])
 	return res
 }
 

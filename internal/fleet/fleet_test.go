@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"cagc/internal/event"
 	"cagc/internal/flash"
 	"cagc/internal/ftl"
 	"cagc/internal/sim"
@@ -157,13 +158,14 @@ func TestFleetMergeMatchesSerialReference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	acc := &shardAcc{}
+	all := make([]DeviceSummary, 0, norm.Devices)
+	acc := &shardAcc{devices: all}
 	for dev := 0; dev < norm.Devices; dev++ {
 		if err := cl.runDevice(dev, acc); err != nil {
 			t.Fatal(err)
 		}
 	}
-	want := mergeShards(norm, []*shardAcc{acc})
+	want := mergeShards(norm, []shardAcc{*acc}, acc.devices)
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("sharded fleet diverged from serial reference:\ngot  %+v\nwant %+v", got, want)
 	}
@@ -232,5 +234,57 @@ func TestFleetPerturbationEnvelope(t *testing.T) {
 	}
 	if len(staggers) != cfg.StaggerClasses {
 		t.Fatalf("fleet used %d stagger classes, want %d", len(staggers), cfg.StaggerClasses)
+	}
+}
+
+// syntheticAccs builds a merge input without running simulations: s
+// shards of d devices each, with deterministic per-device scalars and
+// populated histograms.
+func syntheticAccs(s, d int) ([]shardAcc, []DeviceSummary) {
+	accs := make([]shardAcc, s)
+	all := make([]DeviceSummary, s*d)
+	for i := range accs {
+		first := i * d
+		accs[i].devices = all[first : first : first+d]
+		for j := 0; j < d; j++ {
+			dev := first + j
+			lat := event.Time(1000 + 37*dev%900)
+			accs[i].all.Record(lat)
+			accs[i].read.Record(lat / 2)
+			accs[i].write.Record(lat * 2)
+			accs[i].requests += 10
+			accs[i].events += 40
+			accs[i].devices = append(accs[i].devices, DeviceSummary{
+				ID:     dev,
+				Seed:   int64(dev + 1),
+				WA:     1 + float64(dev%7)/10,
+				Erases: uint64(dev % 13),
+				P99:    lat,
+			})
+		}
+	}
+	return accs, all
+}
+
+// The fleet fold allocates a fixed handful of slices per merge — it
+// must not scale with the shard count (the accumulators and the
+// per-device array are preallocated by Run).
+func TestMergeShardsAllocs(t *testing.T) {
+	cfg := Config{Devices: 64 * 4, Seed: 1, UtilClasses: 1, StaggerClasses: 1, TopK: 10}
+	few, fewAll := syntheticAccs(4, 64)
+	many, manyAll := syntheticAccs(64, 4)
+	perFold := func(accs []shardAcc, all []DeviceSummary) float64 {
+		return testing.AllocsPerRun(50, func() {
+			mergeShards(cfg, accs, all)
+		})
+	}
+	a4, a64 := perFold(few, fewAll), perFold(many, manyAll)
+	if a64 > a4 {
+		t.Fatalf("merge allocations scale with shard count: %0.f at 4 shards, %0.f at 64", a4, a64)
+	}
+	// The fixed budget: result struct, consolidated scalar scratch,
+	// ranked copy + its sort closures, and the top-K clone.
+	if a4 > 12 {
+		t.Fatalf("merge of a fixed fleet allocates %.0f times, want <= 12", a4)
 	}
 }

@@ -3,6 +3,7 @@ package ftl
 import (
 	"slices"
 
+	"cagc/internal/cow"
 	"cagc/internal/flash"
 )
 
@@ -77,6 +78,15 @@ func (c *cmt) copyFrom(src *cmt) {
 	c.pages.CopyFrom(src.pages)
 }
 
+// copyDirty overwrites c with src's state through the page table's
+// dirty-chunk path, returning the bytes copied.
+func (c *cmt) copyDirty(src *cmt) int {
+	pages := c.pages
+	*c = *src
+	c.pages = pages
+	return c.pages.CopyDirty(src.pages)
+}
+
 // CopyFrom makes f an exact copy of src bound to dev, reusing f's
 // existing allocations — the recycled-clone path of the warm-state
 // free-list. f must have been built (or previously cloned) from the
@@ -147,4 +157,109 @@ func (f *FTL) CopyFrom(src *FTL, dev *flash.Device) {
 	f.tr = src.tr
 	f.RefDist = src.RefDist
 	f.logicalPages = src.logicalPages
+	f.cowMap.Reset() // f equals src everywhere again
+	f.cowOwn.Reset()
+}
+
+// EnableCOW turns on divergence tracking on the mapping and owners
+// tables and cascades into the dedup index, the reverse map, and the
+// cached mapping table, so CopyDirty can re-seed this FTL from its
+// snapshot master by copying only what a run touched. The bound device
+// has its own EnableCOW; sim.Runner enables both together. Idempotent;
+// Clone never inherits tracking.
+func (f *FTL) EnableCOW() {
+	if f.cowMap == nil {
+		f.cowMap = cow.NewTracker(mapChunkShift)
+		f.cowOwn = cow.NewTracker(mapChunkShift)
+	}
+	f.rev.enableCOW()
+	f.idx.EnableCOW()
+	if f.cmt != nil {
+		f.cmt.pages.Track()
+	}
+}
+
+// MarkAllCOW forces the next CopyDirty onto the full-copy path
+// everywhere — the differential reference for the dirty-vs-full fuzz
+// tests and the denominator of the re-seed byte-ratio guard.
+func (f *FTL) MarkAllCOW() {
+	f.cowMap.MarkAll()
+	f.cowOwn.MarkAll()
+	f.rev.markAllCOW()
+	f.idx.MarkAllCOW()
+	if f.cmt != nil {
+		f.cmt.pages.MarkAllCOW()
+	}
+}
+
+// CopyDirty re-seeds f from src bound to dev, copying only the chunks
+// f dirtied since it last equaled src, and returns the bytes copied.
+// The big tables (mapping, owners, dedup entries, fingerprint slots,
+// reverse-map arena, cmt page table) go through their dirty-chunk fast
+// paths; everything else — block metadata, free lists, frontiers, the
+// GC bitmap, scalars, the victim policy — is small and always copied,
+// exactly as CopyFrom does. Untracked state degrades to full copies,
+// so the result is always indistinguishable from CopyFrom.
+func (f *FTL) CopyDirty(src *FTL, dev *flash.Device) int {
+	f.dev = dev
+	prevPolicy := f.opts.Policy
+	f.opts = src.opts
+	if cp, ok := src.opts.Policy.(ClonablePolicy); ok {
+		if sp, ok := src.opts.Policy.(*RandomPolicy); ok {
+			if dp, ok := prevPolicy.(*RandomPolicy); ok {
+				*dp = *sp
+				f.opts.Policy = dp
+			} else {
+				f.opts.Policy = sp.ClonePolicy()
+			}
+		} else {
+			f.opts.Policy = cp.ClonePolicy()
+		}
+	}
+	f.geo = src.geo
+	f.dies = src.dies
+	f.gcFreeOK = src.gcFreeOK
+	var n int
+	if f.idx == nil {
+		f.idx = src.idx.Clone()
+	} else {
+		n += f.idx.CopyDirty(src.idx)
+	}
+	n += cow.CopySlice(f.cowMap, &f.mapping, src.mapping)
+	f.cowMap.Reset()
+	n += cow.CopySlice(f.cowOwn, &f.owners, src.owners)
+	f.cowOwn.Reset()
+	n += f.rev.copyDirty(&src.rev)
+	n += cow.CopyAll(&f.blocks, src.blocks)
+	if len(f.freeByDie) != len(src.freeByDie) {
+		f.freeByDie = make([][]flash.BlockID, len(src.freeByDie))
+	}
+	for i, l := range src.freeByDie {
+		n += cow.CopyAll(&f.freeByDie[i], l)
+	}
+	f.freeCount = src.freeCount
+	f.hotRR = src.hotRR
+	f.coldOpen = src.coldOpen
+	f.hasCold = src.hasCold
+	n += cow.CopyAll(&f.hotOpen, src.hotOpen)
+	n += cow.CopyAll(&f.hasHot, src.hasHot)
+	n += cow.CopyAll(&f.gcEligible, src.gcEligible)
+	// candScratch: rebuilt on every GC invocation, kept as-is (like
+	// CopyFrom).
+	f.inGC = src.inGC
+	f.gcBusyUntil = src.gcBusyUntil
+	f.gcHashEnd = src.gcHashEnd
+	switch {
+	case src.cmt == nil:
+		f.cmt = nil
+	case f.cmt == nil:
+		f.cmt = src.cmt.clone()
+	default:
+		n += f.cmt.copyDirty(src.cmt)
+	}
+	f.stats = src.stats
+	f.tr = src.tr
+	f.RefDist = src.RefDist
+	f.logicalPages = src.logicalPages
+	return n
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"cagc/internal/cow"
 	"cagc/internal/dedup"
 	"cagc/internal/event"
 	"cagc/internal/flash"
@@ -108,7 +109,19 @@ type FTL struct {
 	RefDist metrics.RefcountDist
 
 	logicalPages uint64
+
+	// Divergence trackers for the recycled-clone CopyDirty path: cowMap
+	// over the L2P mapping (LPN chunks), cowOwn over the owners table
+	// (PPN chunks). nil when untracked. The remaining FTL state (block
+	// metadata, free lists, frontiers, GC bitmap, scalars) is small
+	// relative to these tables and is always copied at re-seed.
+	cowMap *cow.Tracker
+	cowOwn *cow.Tracker
 }
+
+// mapChunkShift sizes the mapping/owners dirty-tracking chunks: 256
+// four-byte CIDs (1 KB) per chunk.
+const mapChunkShift = 8
 
 type blockMeta struct {
 	state  blockState
@@ -222,6 +235,7 @@ func (f *FTL) checkLPN(lpn uint64) error {
 // bind points lpn at cid, maintaining the lazy reverse map.
 func (f *FTL) bind(lpn uint64, c dedup.CID) {
 	f.mapping[lpn] = c
+	f.cowMap.Mark(int(lpn))
 	f.rev.add(c, lpn)
 }
 
@@ -256,6 +270,7 @@ func (f *FTL) Write(at event.Time, lpn uint64, fp dedup.Fingerprint) (event.Time
 	}
 	c := f.idx.InsertUnindexed(fp, ppn)
 	f.owners[ppn] = c
+	f.cowOwn.Mark(int(ppn))
 	f.closeIfFull(ppn)
 	if old != dedup.NilCID {
 		if err := f.unbindOld(old); err != nil {
@@ -298,6 +313,7 @@ func (f *FTL) writeInline(at event.Time, lpn uint64, fp dedup.Fingerprint, old d
 		return 0, err
 	}
 	f.owners[ppn] = c
+	f.cowOwn.Mark(int(ppn))
 	f.closeIfFull(ppn)
 	if old != dedup.NilCID {
 		if err := f.unbindOld(old); err != nil {
@@ -328,6 +344,7 @@ func (f *FTL) unbindOld(old dedup.CID) error {
 		return fmt.Errorf("ftl: invalidating dead content: %w", err)
 	}
 	f.owners[ppn] = dedup.NilCID
+	f.cowOwn.Mark(int(ppn))
 	f.rev.clear(old)
 	f.RefDist.Add(peak)
 	return nil
@@ -386,6 +403,7 @@ func (f *FTL) Trim(at event.Time, lpn uint64) (event.Time, error) {
 		return 0, err
 	}
 	f.mapping[lpn] = dedup.NilCID
+	f.cowMap.Mark(int(lpn))
 	return at + f.opts.CtrlLatency, nil
 }
 

@@ -363,6 +363,7 @@ func (f *FTL) migrateUnindexed(now event.Time, cursor *event.Time, overlap bool,
 			return 0, err
 		}
 		f.owners[ppn] = dedup.NilCID
+		f.cowOwn.Mark(int(ppn))
 		f.stats.GCDupDropped++
 		f.tr.Instant(obs.TrackGC, obs.KGCDedupHit, hashEnd, uint64(ppn))
 		done := hashEnd
@@ -435,11 +436,13 @@ func (f *FTL) relocateAfter(now, dataReady event.Time, oldPPN flash.PPN, c dedup
 		return 0, err
 	}
 	f.owners[dest] = c
+	f.cowOwn.Mark(int(dest))
 	f.closeIfFull(dest)
 	if err := f.invalidatePage(oldPPN); err != nil {
 		return 0, err
 	}
 	f.owners[oldPPN] = dedup.NilCID
+	f.cowOwn.Mark(int(oldPPN))
 	f.stats.PagesMigrated++
 	return progEnd, nil
 }
@@ -489,11 +492,13 @@ func (f *FTL) promote(now, after event.Time, c dedup.CID) (event.Time, bool, err
 		return 0, false, err
 	}
 	f.owners[dest] = c
+	f.cowOwn.Mark(int(dest))
 	f.closeIfFull(dest)
 	if err := f.invalidatePage(ppn); err != nil {
 		return 0, false, err
 	}
 	f.owners[ppn] = dedup.NilCID
+	f.cowOwn.Mark(int(ppn))
 	f.stats.Promotions++
 	f.tr.Instant(obs.TrackGC, obs.KPromote, progEnd, uint64(dest))
 	return progEnd, true, nil
@@ -509,6 +514,7 @@ func (f *FTL) remapAll(from, to dedup.CID) {
 		lpn := f.rev.nodes[n].lpn
 		if f.mapping[lpn] == from {
 			f.mapping[lpn] = to
+			f.cowMap.Mark(int(lpn))
 			f.rev.add(to, lpn)
 		}
 	}

@@ -3,6 +3,7 @@ package ftl
 import (
 	"slices"
 
+	"cagc/internal/cow"
 	"cagc/internal/dedup"
 )
 
@@ -20,7 +21,21 @@ type revMap struct {
 	tails []int32 // CID -> last node, for O(1) append in bind order
 	nodes []revNode
 	free  int32 // freelist head, nilNode = empty
+
+	// Divergence trackers for the recycled-clone CopyDirty path: one
+	// over the CID-indexed heads/tails pair, one over the node arena.
+	// nil when untracked. ensure's append growth past the master's
+	// length needs no marks (truncated away at re-seed).
+	trkCID   *cow.Tracker
+	trkNodes *cow.Tracker
 }
+
+// Chunk sizes for the revMap trackers: 128 CIDs (two 512 B head/tail
+// runs) and 128 arena nodes per chunk.
+const (
+	revCIDChunkShift  = 7
+	revNodeChunkShift = 7
+)
 
 type revNode struct {
 	lpn  uint64
@@ -56,6 +71,7 @@ func (m *revMap) add(c dedup.CID, lpn uint64) {
 	if n != nilNode {
 		m.free = m.nodes[n].next
 		m.nodes[n] = revNode{lpn: lpn, next: nilNode}
+		m.trkNodes.Mark(int(n))
 	} else {
 		n = int32(len(m.nodes))
 		m.nodes = append(m.nodes, revNode{lpn: lpn, next: nilNode})
@@ -64,8 +80,10 @@ func (m *revMap) add(c dedup.CID, lpn uint64) {
 		m.heads[c] = n
 	} else {
 		m.nodes[t].next = n
+		m.trkNodes.Mark(int(t))
 	}
 	m.tails[c] = n
+	m.trkCID.Mark(int(c))
 }
 
 // clear empties c's chain by splicing it whole onto the freelist, so
@@ -75,9 +93,11 @@ func (m *revMap) clear(c dedup.CID) {
 		return
 	}
 	m.nodes[m.tails[c]].next = m.free
+	m.trkNodes.Mark(int(m.tails[c]))
 	m.free = m.heads[c]
 	m.heads[c] = nilNode
 	m.tails[c] = nilNode
+	m.trkCID.Mark(int(c))
 }
 
 // clone returns an independent deep copy — flat copies only, no
@@ -91,10 +111,40 @@ func (m *revMap) clone() revMap {
 	}
 }
 
-// copyFrom overwrites m with src's state, reusing m's arrays.
+// copyFrom overwrites m with src's state, reusing m's arrays and
+// keeping (resetting) m's own trackers.
 func (m *revMap) copyFrom(src *revMap) {
 	m.heads = append(m.heads[:0], src.heads...)
 	m.tails = append(m.tails[:0], src.tails...)
 	m.nodes = append(m.nodes[:0], src.nodes...)
 	m.free = src.free
+	m.trkCID.Reset()
+	m.trkNodes.Reset()
+}
+
+// enableCOW turns on divergence tracking for the CID tables and the
+// node arena. Idempotent.
+func (m *revMap) enableCOW() {
+	if m.trkCID == nil {
+		m.trkCID = cow.NewTracker(revCIDChunkShift)
+		m.trkNodes = cow.NewTracker(revNodeChunkShift)
+	}
+}
+
+func (m *revMap) markAllCOW() {
+	m.trkCID.MarkAll()
+	m.trkNodes.MarkAll()
+}
+
+// copyDirty re-seeds m from src copying only dirty chunks (heads and
+// tails share the CID tracker) and returns the bytes copied. Untracked
+// maps degrade to the full copy with full accounting.
+func (m *revMap) copyDirty(src *revMap) int {
+	n := cow.CopySlice(m.trkCID, &m.heads, src.heads)
+	n += cow.CopySlice(m.trkCID, &m.tails, src.tails)
+	n += cow.CopySlice(m.trkNodes, &m.nodes, src.nodes)
+	m.free = src.free
+	m.trkCID.Reset()
+	m.trkNodes.Reset()
+	return n
 }

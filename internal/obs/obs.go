@@ -136,6 +136,12 @@ const (
 	KFleetMerge     // span: the deterministic merge phase (arg = device count)
 	KFleetStraggler // instant: a straggler device ranked by the merge (arg = device ID)
 
+	// Work-pool scheduling (counter samples on TrackSched; wall-clock
+	// times). Harness-side facts — they never enter deterministic
+	// results, only telemetry and benchmark reports.
+	KSchedSteal  // tasks executed by a worker other than the one they were dealt to (cumulative)
+	KSchedReseed // dirty-chunk runner re-seeds served from the clone free-list (cumulative)
+
 	numKinds
 )
 
@@ -187,6 +193,10 @@ var kindTable = [numKinds]kindInfo{
 	KFleetShard:     {name: "fleet.shard", ph: 'X', detached: true},
 	KFleetMerge:     {name: "fleet.merge", ph: 'X', detached: true},
 	KFleetStraggler: {name: "fleet.straggler", ph: 'i', detached: true},
+	// Pool-scheduler counters are wall-clock harness state, sampled
+	// outside any request scope.
+	KSchedSteal:  {name: "sched.steals", ph: 'C', detached: true},
+	KSchedReseed: {name: "sched.reseeds", ph: 'C', detached: true},
 }
 
 // Name returns the kind's fixed event name.

@@ -1,0 +1,221 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Run must execute every task exactly once at any worker count, and
+// return nil Errs on the all-clear path — the same contract as ForEach.
+func TestRunAllSucceed(t *testing.T) {
+	for _, workers := range []int{0, 1, 4, 17} {
+		var ran [100]atomic.Int64
+		st := Run(100, Options{Workers: workers}, func(i int) error {
+			ran[i].Add(1)
+			return nil
+		})
+		if st.Errs != nil {
+			t.Fatalf("workers=%d: Errs = %v, want nil", workers, st.Errs)
+		}
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, ran[i].Load())
+			}
+		}
+	}
+}
+
+// Weighted dispatch must not change which tasks run or how errors are
+// reported — only their order.
+func TestRunWeightedAllSucceed(t *testing.T) {
+	var ran [64]atomic.Int64
+	st := Run(64, Options{
+		Workers: 4,
+		Weight:  func(i int) float64 { return float64(i % 7) },
+	}, func(i int) error {
+		ran[i].Add(1)
+		return nil
+	})
+	if st.Errs != nil {
+		t.Fatalf("Errs = %v, want nil", st.Errs)
+	}
+	for i := range ran {
+		if ran[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, ran[i].Load())
+		}
+	}
+}
+
+// Error semantics parity with ForEach: the failing index carries its
+// error, completed tasks stay nil, and tasks never started report
+// ErrNotRun.
+func TestRunPerIndexErrors(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 1000
+			var started atomic.Int64
+			st := Run(n, Options{Workers: workers}, func(i int) error {
+				started.Add(1)
+				if i == 3 {
+					return boom
+				}
+				return nil
+			})
+			if st.Errs == nil {
+				t.Fatal("Errs = nil despite a failure")
+			}
+			if !errors.Is(st.Errs[3], boom) {
+				t.Fatalf("Errs[3] = %v, want boom", st.Errs[3])
+			}
+			var completed, notRun int
+			for i, err := range st.Errs {
+				switch {
+				case err == nil:
+					completed++
+				case errors.Is(err, ErrNotRun):
+					notRun++
+				case i != 3:
+					t.Fatalf("Errs[%d] = %v, want nil or ErrNotRun", i, err)
+				}
+			}
+			if completed+notRun+1 != n {
+				t.Fatalf("slots: %d completed + %d not-run + 1 failed != %d", completed, notRun, n)
+			}
+			if int64(n-notRun) != started.Load() {
+				t.Fatalf("started %d tasks but %d slots are not ErrNotRun", started.Load(), n-notRun)
+			}
+			if notRun == 0 && workers == 1 {
+				t.Fatal("serial Run dispatched past the failure")
+			}
+			if err := First(st.Errs); !errors.Is(err, boom) {
+				t.Fatalf("First = %v, want boom", err)
+			}
+		})
+	}
+}
+
+// The serial path runs heaviest-first and stops at the first failure in
+// schedule order.
+func TestRunSerialWeightOrder(t *testing.T) {
+	var order []int
+	st := Run(5, Options{
+		Workers: 1,
+		Weight:  func(i int) float64 { return float64(i) },
+	}, func(i int) error {
+		order = append(order, i)
+		if i == 2 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	want := []int{4, 3, 2}
+	if len(order) != len(want) {
+		t.Fatalf("ran %v, want %v", order, want)
+	}
+	for k, i := range want {
+		if order[k] != i {
+			t.Fatalf("ran %v, want %v", order, want)
+		}
+	}
+	for _, i := range []int{0, 1} {
+		if !errors.Is(st.Errs[i], ErrNotRun) {
+			t.Fatalf("Errs[%d] = %v, want ErrNotRun (lighter than the failure)", i, st.Errs[i])
+		}
+	}
+}
+
+// sortByWeight orders heaviest-first with index-order tie-breaking and
+// keeps identity order for a nil weight.
+func TestSortByWeight(t *testing.T) {
+	got := sortByWeight(6, func(i int) float64 { return float64(i % 3) })
+	want := []int{2, 5, 1, 4, 0, 3}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("sortByWeight = %v, want %v", got, want)
+		}
+	}
+	id := sortByWeight(4, nil)
+	for k, i := range id {
+		if k != i {
+			t.Fatalf("nil weight reordered: %v", id)
+		}
+	}
+}
+
+// An idle worker must steal queued work instead of exiting: one slow
+// task on one worker's deque cannot leave the rest of that deque
+// waiting while other workers sit idle.
+func TestRunStealsBackfillStalls(t *testing.T) {
+	// Two workers, four tasks. Round-robin dealing from the
+	// heaviest-first order [0 1 2 3] puts {0, 2} on worker 0 and {1, 3}
+	// on worker 1. Task 0 blocks until every other task has finished —
+	// only possible if worker 1 steals task 2.
+	release := make(chan struct{})
+	var done atomic.Int64
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	st := Run(4, Options{Workers: 2}, func(i int) error {
+		if i == 0 {
+			<-release
+			return nil
+		}
+		mu.Lock()
+		seen[i] = true
+		n := len(seen)
+		mu.Unlock()
+		if n == 3 {
+			close(release)
+		}
+		done.Add(1)
+		return nil
+	})
+	if st.Errs != nil {
+		t.Fatalf("Errs = %v", st.Errs)
+	}
+	if st.Steals == 0 {
+		t.Fatal("no steals recorded despite a stalled worker holding queued work")
+	}
+}
+
+// The process-wide steal counter accumulates across runs.
+func TestStealsCounterAccumulates(t *testing.T) {
+	before := Steals()
+	TestRunStealsBackfillStalls(t)
+	if Steals() < before+1 {
+		t.Fatalf("process steal counter did not advance: %d -> %d", before, Steals())
+	}
+}
+
+// CostModel: estimates scale by the last observed ns/event, unknown
+// classes fall back to raw event counts, and non-positive observations
+// are ignored.
+func TestCostModel(t *testing.T) {
+	var m CostModel
+	if got := m.Estimate("mail", 100); got != 100 {
+		t.Fatalf("unknown class estimate = %v, want raw events 100", got)
+	}
+	m.Observe("mail", 1000, 2000) // 2 ns/event
+	if got := m.Estimate("mail", 100); got != 200 {
+		t.Fatalf("estimate = %v, want 200", got)
+	}
+	m.Observe("mail", 1000, 5000) // last-seen wins: 5 ns/event
+	if got := m.Estimate("mail", 100); got != 500 {
+		t.Fatalf("estimate after re-observe = %v, want 500", got)
+	}
+	m.Observe("mail", 0, 5000)
+	m.Observe("mail", 1000, -1)
+	if got := m.Estimate("mail", 100); got != 500 {
+		t.Fatalf("degenerate observations changed the estimate: %v", got)
+	}
+	m.Observe("web", 100, 100)
+	if got := m.Estimate("web", 50); got != 50 {
+		t.Fatalf("second class estimate = %v, want 50", got)
+	}
+	if got := m.Estimate("mail", 100); got != 500 {
+		t.Fatalf("second class clobbered the first: %v", got)
+	}
+}

@@ -15,6 +15,8 @@ package sim
 // TestRunBatchWorkerCountInvariance enforce it.
 
 import (
+	"time"
+
 	"cagc/internal/pool"
 	"cagc/internal/trace"
 )
@@ -40,18 +42,27 @@ var ErrNotRun = pool.ErrNotRun
 // says exactly which runs finished. errs is nil when every run
 // completed.
 //
-// Callers fanning many runs off few snapshots should order runs so
-// same-snapshot entries are adjacent: workers pull indices in order, so
-// adjacency keeps each snapshot's master hot in cache while its clones
-// are being cut.
+// Dispatch is batch-aware (pool.Run): runs are scheduled
+// longest-estimated-first — estimate = trace events × the workload
+// class's last-seen ns/event from the shared pool.Cost model — with
+// work stealing, so short runs backfill worker stalls instead of
+// serializing behind stragglers. Results are index-addressed and every
+// run is a deterministic single-threaded computation, so output stays
+// byte-identical at any worker count regardless of execution order.
 func RunBatch(runs []BatchRun, workers int) (results []*Result, errs []error) {
 	results = make([]*Result, len(runs))
-	errs = pool.ForEach(len(runs), workers, func(i int) error {
+	st := pool.Run(len(runs), pool.Options{
+		Workers: workers,
+		Weight: func(i int) float64 {
+			return pool.Cost.Estimate(runs[i].Spec.Name, float64(runs[i].Spec.Requests))
+		},
+	}, func(i int) error {
 		r := runs[i]
 		var (
 			res *Result
 			err error
 		)
+		start := time.Now()
 		if r.Snap != nil {
 			res, err = RunWarmRecycled(r.Snap, r.Cfg, r.Spec)
 		} else {
@@ -60,8 +71,9 @@ func RunBatch(runs []BatchRun, workers int) (results []*Result, errs []error) {
 		if err != nil {
 			return err
 		}
+		pool.Cost.Observe(r.Spec.Name, float64(r.Spec.Requests), float64(time.Since(start)))
 		results[i] = res
 		return nil
 	})
-	return results, errs
+	return results, st.Errs
 }

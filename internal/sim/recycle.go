@@ -15,6 +15,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"cagc/internal/event"
 	"cagc/internal/trace"
@@ -22,21 +23,37 @@ import (
 
 // CloneStats is a snapshot of the process-wide clone gauge.
 type CloneStats struct {
-	Fresh    uint64 // clones cut from a snapshot master
-	Recycled uint64 // runners re-seeded from the free-list
-	Released uint64 // runners returned (recyclable or dropped)
-	Live     int    // acquired and not yet released
-	Peak     int    // high-water mark of Live since the last reset
+	Fresh       uint64 // clones cut from a snapshot master
+	Recycled    uint64 // runners re-seeded from the free-list
+	Released    uint64 // runners returned (recyclable or dropped)
+	Live        int    // acquired and not yet released
+	Peak        int    // high-water mark of Live since the last reset
+	Reseeds     uint64 // dirty-chunk re-seeds (== Recycled acquires)
+	ReseedBytes uint64 // bytes copied by those re-seeds
 }
 
 var cloneGauge struct {
-	mu       sync.Mutex
-	fresh    uint64
-	recycled uint64
-	released uint64
-	live     int
-	peak     int
+	mu          sync.Mutex
+	fresh       uint64
+	recycled    uint64
+	released    uint64
+	live        int
+	peak        int
+	reseeds     uint64
+	reseedBytes uint64
 }
+
+// forceFullReseed, when set, marks every recycled runner all-dirty
+// before re-seeding, so Acquire exercises the full-copy path — the
+// differential reference the dirty path is fuzzed against and the
+// denominator of the re-seed byte-ratio guard. Testing/benchmarking
+// only.
+var forceFullReseed atomic.Bool
+
+// SetForceFullReseed toggles the full-copy re-seed path for every
+// subsequent recycled Acquire (testing/benchmarking only). Results are
+// bit-identical either way; only the bytes copied differ.
+func SetForceFullReseed(v bool) { forceFullReseed.Store(v) }
 
 func gaugeAcquire(recycled bool) {
 	g := &cloneGauge
@@ -50,6 +67,14 @@ func gaugeAcquire(recycled bool) {
 	if g.live > g.peak {
 		g.peak = g.live
 	}
+	g.mu.Unlock()
+}
+
+func gaugeReseed(bytes int) {
+	g := &cloneGauge
+	g.mu.Lock()
+	g.reseeds++
+	g.reseedBytes += uint64(bytes)
 	g.mu.Unlock()
 }
 
@@ -67,11 +92,13 @@ func CloneGaugeStats() CloneStats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return CloneStats{
-		Fresh:    g.fresh,
-		Recycled: g.recycled,
-		Released: g.released,
-		Live:     g.live,
-		Peak:     g.peak,
+		Fresh:       g.fresh,
+		Recycled:    g.recycled,
+		Released:    g.released,
+		Live:        g.live,
+		Peak:        g.peak,
+		Reseeds:     g.reseeds,
+		ReseedBytes: g.reseedBytes,
 	}
 }
 
@@ -81,27 +108,53 @@ func ResetCloneGauge() {
 	g := &cloneGauge
 	g.mu.Lock()
 	g.fresh, g.recycled, g.released = 0, 0, 0
+	g.reseeds, g.reseedBytes = 0, 0
 	g.peak = g.live
 	g.mu.Unlock()
 }
 
-// copyFrom re-seeds r from master, reusing r's allocations: the exact
-// state Clone would produce, without the fresh heap. r must have been
-// cloned from the same snapshot (same shapes) — guaranteed by the
-// free-list, the only caller.
-func (r *Runner) copyFrom(master *Runner) {
-	r.dev.CopyFrom(master.dev)
-	r.f.CopyFrom(master.f, r.dev)
+// enableCOW turns on chunked divergence tracking through every layer
+// of a freshly cut clone, so its next re-seed can take the CopyDirty
+// fast path. Only Acquire calls it: cold runs and plain warm clones
+// stay untracked and pay nothing beyond nil-checks.
+func (r *Runner) enableCOW() {
+	r.dev.EnableCOW()
+	r.f.EnableCOW()
+	// The write buffer's coarse dirty flag is maintained unconditionally
+	// (one boolean store per op); nothing to enable.
+}
+
+// markAllCOW forces r's next reseed onto the full-copy path in every
+// layer.
+func (r *Runner) markAllCOW() {
+	r.dev.MarkAllCOW()
+	r.f.MarkAllCOW()
+	if r.buf != nil {
+		r.buf.MarkAllCOW()
+	}
+}
+
+// reseed re-seeds r from master through the CopyDirty chain, copying
+// only the chunks r's previous run dirtied, and returns the bytes
+// copied. Untracked runners (or all-dirty state) degrade to the full
+// CopyFrom chain; either way r ends bit-identical to the state Clone
+// would produce, without the fresh heap. r must have been cloned from
+// the same snapshot (same shapes) — guaranteed by the free-list, the
+// only caller.
+func (r *Runner) reseed(master *Runner) int {
+	n := r.dev.CopyDirty(master.dev)
+	n += r.f.CopyDirty(master.f, r.dev)
 	switch {
 	case master.buf == nil:
 		r.buf = nil
 	case r.buf == nil:
 		r.buf = master.buf.Clone(r.f)
 	default:
-		r.buf.CopyFrom(master.buf, r.f)
+		n += r.buf.CopyDirty(master.buf, r.f)
 	}
 	r.cfg = master.cfg
 	r.tr = master.tr
+	return n
 }
 
 // SetFreeListCap bounds how many completed runners the snapshot parks
@@ -139,9 +192,13 @@ func (s *Snapshot) Acquire(cfg Config) (*Runner, error) {
 	s.mu.Unlock()
 	recycled := r != nil
 	if recycled {
-		r.copyFrom(s.master)
+		if forceFullReseed.Load() {
+			r.markAllCOW()
+		}
+		gaugeReseed(r.reseed(s.master))
 	} else {
 		r = s.master.Clone()
+		r.enableCOW()
 	}
 	gaugeAcquire(recycled)
 	r.cfg = cfg

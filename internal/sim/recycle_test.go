@@ -2,6 +2,7 @@ package sim
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"cagc/internal/ftl"
@@ -150,5 +151,127 @@ func TestBatchCloneResidencyBoundedByWorkers(t *testing.T) {
 	}
 	if after.Live != 0 {
 		t.Fatalf("%d clones still live after batch completed", after.Live)
+	}
+}
+
+// Release beyond the free-list cap must drop the runner, not park it:
+// the next acquires recycle exactly as many runners as the cap allows
+// and cut fresh clones for the rest.
+func TestReleaseBeyondCapDrops(t *testing.T) {
+	cfg, spec := snapConfig(t, ftl.CAGCOptions())
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.SetFreeListCap(1)
+	r1, err := snap.Acquire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := snap.Acquire(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Release(r1)
+	snap.Release(r2) // beyond the cap: dropped
+	before := CloneGaugeStats()
+	if _, err := snap.Acquire(cfg); err != nil { // recycles r1
+		t.Fatal(err)
+	}
+	if _, err := snap.Acquire(cfg); err != nil { // list empty: fresh
+		t.Fatal(err)
+	}
+	after := CloneGaugeStats()
+	if rec := after.Recycled - before.Recycled; rec != 1 {
+		t.Fatalf("recycled %d runners after a cap-1 double release, want 1", rec)
+	}
+	if fresh := after.Fresh - before.Fresh; fresh != 1 {
+		t.Fatalf("cut %d fresh clones after a cap-1 double release, want 1", fresh)
+	}
+	// Shrinking the cap below the parked population trims the list.
+	snap.SetFreeListCap(0)
+	snap.mu.Lock()
+	parked := len(snap.free)
+	snap.mu.Unlock()
+	if parked != 0 {
+		t.Fatalf("%d runners parked after capping the free-list at 0", parked)
+	}
+}
+
+// A failed run must never re-enter the free-list — its state is
+// mid-replay garbage — but the residency gauge must stay balanced.
+func TestFailedRunNotRecycled(t *testing.T) {
+	cfg, spec := snapConfig(t, ftl.CAGCOptions())
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := spec
+	bad.AvgReqPages = 0.5 // rejected by the generator, after Acquire
+	before := CloneGaugeStats()
+	if _, err := RunWarmRecycled(snap, cfg, bad); err == nil {
+		t.Fatal("bad spec did not fail")
+	}
+	mid := CloneGaugeStats()
+	if live := mid.Live - before.Live; live != 0 {
+		t.Fatalf("failed run left %d clones live", live)
+	}
+	// The failed runner was dropped, not parked: the next run cuts a
+	// fresh clone.
+	if _, err := RunWarmRecycled(snap, cfg, spec); err != nil {
+		t.Fatal(err)
+	}
+	after := CloneGaugeStats()
+	if rec := after.Recycled - mid.Recycled; rec != 0 {
+		t.Fatalf("recycled %d runners after a failed run, want 0 (failed state must not be reused)", rec)
+	}
+	if fresh := after.Fresh - mid.Fresh; fresh != 1 {
+		t.Fatalf("cut %d fresh clones after a failed run, want 1", fresh)
+	}
+}
+
+// Concurrent Acquire/Release churn must keep the residency gauge
+// consistent: Live returns to zero, Peak never exceeds the number of
+// concurrent holders, and every acquire is accounted fresh or recycled.
+// Run under -race this also exercises the free-list locking.
+func TestConcurrentAcquireReleaseGauge(t *testing.T) {
+	cfg, spec := snapConfig(t, ftl.CAGCOptions())
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 4, 6
+	snap.SetFreeListCap(workers)
+	ResetCloneGauge()
+	before := CloneGaugeStats()
+	small := spec
+	small.Requests = 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if _, err := RunWarmRecycled(snap, cfg, small); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	after := CloneGaugeStats()
+	if after.Live != before.Live {
+		t.Fatalf("gauge live drifted: %d -> %d", before.Live, after.Live)
+	}
+	if after.Peak > workers+1 {
+		t.Fatalf("peak %d exceeds %d concurrent holders +1", after.Peak, workers)
+	}
+	acquires := after.Fresh - before.Fresh + after.Recycled - before.Recycled
+	if acquires != workers*perWorker {
+		t.Fatalf("gauge saw %d acquires, want %d", acquires, workers*perWorker)
+	}
+	if after.Reseeds != after.Recycled {
+		t.Fatalf("reseeds %d != recycled acquires %d", after.Reseeds, after.Recycled)
 	}
 }

@@ -1,0 +1,287 @@
+package sim
+
+// Dirty-chunk re-seeding is an optimization with an exact contract: a
+// recycled runner re-seeded through the CopyDirty chain must be
+// bit-identical to one re-seeded through the full CopyFrom chain, and
+// both must reproduce a cold run. The tests here are the differential
+// proof: state-level (two runners, identical histories, dirty vs full
+// re-seed, DeepEqual on every layer) and result-level (cold vs
+// dirty-recycled vs full-recycled across schemes, policies, and loop
+// modes, DeepEqual + byte-equal JSON). BenchmarkReseed and
+// TestReseedBytesRatio pin the payoff: a short replay on a large
+// device re-seeds in a fraction of the full-copy bytes.
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"cagc/internal/flash"
+	"cagc/internal/ftl"
+	"cagc/internal/trace"
+)
+
+// reseedShape is the pinned benchmark configuration: a fleet-scale
+// device (128 MiB) with a short measured replay (50 requests against a
+// 3000-request precondition), so a run dirties a small fraction of the
+// warm state. The byte-ratio guard and BenchmarkReseed share it.
+func reseedShape(t testing.TB) (Config, trace.Spec, trace.Spec) {
+	t.Helper()
+	cfg := Config{
+		Device:      flash.ScaledConfig(128 << 20),
+		Options:     ftl.CAGCOptions(),
+		Utilization: 0.55,
+	}
+	spec, err := trace.Preset(trace.Mail, LogicalPagesOf(cfg), 3000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := spec
+	replay.Requests = 50
+	return cfg, spec, replay
+}
+
+// The re-seed byte-ratio guard: on the pinned shape, a dirty-chunk
+// re-seed must copy at least 4x fewer bytes than the full CopyFrom
+// chain. Everything here is deterministic — the same trace dirties the
+// same chunks every run — so the guard is exact, not statistical.
+func TestReseedBytesRatio(t *testing.T) {
+	cfg, spec, replay := reseedShape(t)
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := snap.Acquire(cfg.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replayOn(r, snap.offset, replay); err != nil {
+		t.Fatal(err)
+	}
+	dirty := r.reseed(snap.master)
+	if _, err := replayOn(r, snap.offset, replay); err != nil {
+		t.Fatal(err)
+	}
+	r.markAllCOW()
+	full := r.reseed(snap.master)
+	if dirty <= 0 || full <= 0 {
+		t.Fatalf("degenerate byte counts: dirty %d, full %d", dirty, full)
+	}
+	if full < 4*dirty {
+		t.Fatalf("dirty re-seed copied %d bytes, full %d: ratio %.2f < 4",
+			dirty, full, float64(full)/float64(dirty))
+	}
+}
+
+// State-level differential fuzz: two recycled runners replay identical
+// request streams, then one re-seeds through the dirty-chunk path and
+// the other through the forced full-copy path. Every layer must end
+// DeepEqual — including the tracker bookkeeping — across varied seeds,
+// workloads, and replay lengths.
+func TestReseedStateMatchesFullCopy(t *testing.T) {
+	rounds := []struct {
+		workload trace.WorkloadName
+		seed     int64
+		requests int
+	}{
+		{trace.Mail, 1, 120},
+		{trace.Homes, 2, 450},
+		{trace.WebVM, 3, 1100},
+		{trace.Mail, 4, 2600},
+	}
+	opts := ftl.CAGCOptions()
+	opts.Policy = ftl.NewRandomPolicy(7)
+	opts.MappingCache = 1024
+	cfg := smallConfig(opts)
+	cfg.BufferPages = 32
+	spec := specFor(t, cfg, trace.Mail, 3000)
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cfg.withDefaults()
+	r1, err := snap.Acquire(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := snap.Acquire(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, round := range rounds {
+		replay, err := trace.Preset(round.workload, r1.LogicalPages(), round.requests, round.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay.PrecondSeed = spec.PrecondSeed
+		res1, err := replayOn(r1, snap.offset, replay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := replayOn(r2, snap.offset, replay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res1, res2) {
+			t.Fatalf("%s/%d: identical replays diverged before re-seeding", round.workload, round.seed)
+		}
+		r1.reseed(snap.master) // dirty-chunk path
+		r2.markAllCOW()
+		r2.reseed(snap.master) // full-copy reference
+		if !reflect.DeepEqual(r1.dev, r2.dev) {
+			t.Fatalf("%s/%d: device state diverged between dirty and full re-seed", round.workload, round.seed)
+		}
+		if !reflect.DeepEqual(r1.f, r2.f) {
+			t.Fatalf("%s/%d: FTL state diverged between dirty and full re-seed", round.workload, round.seed)
+		}
+		if !reflect.DeepEqual(r1.buf, r2.buf) {
+			t.Fatalf("%s/%d: buffer state diverged between dirty and full re-seed", round.workload, round.seed)
+		}
+	}
+}
+
+// Result-level differential matrix: for every scheme x policy cell —
+// plus closed-loop and full-stack (write buffer + mapping cache)
+// variants — a cold run, a dirty-recycled run, and a forced-full
+// recycled run must produce DeepEqual results and byte-identical JSON.
+func TestReseedDifferentialMatrix(t *testing.T) {
+	schemes := []struct {
+		name string
+		opts func() ftl.Options
+	}{
+		{"baseline", ftl.BaselineOptions},
+		{"inline", ftl.InlineDedupeOptions},
+		{"cagc", ftl.CAGCOptions},
+	}
+	policies := []struct {
+		name   string
+		policy func() ftl.VictimPolicy
+	}{
+		{"greedy", func() ftl.VictimPolicy { return ftl.GreedyPolicy{} }},
+		{"random", func() ftl.VictimPolicy { return ftl.NewRandomPolicy(7) }},
+		{"cost-benefit", func() ftl.VictimPolicy { return ftl.CostBenefitPolicy{} }},
+	}
+	// Each cell builds its Config fresh per use: stateful policies
+	// (RandomPolicy) carry RNG state, so the cold run and the snapshot
+	// must each get their own instance.
+	type cell struct {
+		name string
+		mk   func() Config
+	}
+	var cells []cell
+	for _, s := range schemes {
+		for _, p := range policies {
+			s, p := s, p
+			cells = append(cells, cell{s.name + "/" + p.name, func() Config {
+				opts := s.opts()
+				opts.Policy = p.policy()
+				return smallConfig(opts)
+			}})
+		}
+		// Closed-loop variant, one per scheme.
+		s := s
+		cells = append(cells, cell{s.name + "/closed-loop", func() Config {
+			closed := smallConfig(s.opts())
+			closed.QueueDepth = 8
+			return closed
+		}})
+	}
+	// Full stack: buffer + cached mapping table + stateful policy.
+	cells = append(cells, cell{"cagc/all-layers", func() Config {
+		opts := ftl.CAGCOptions()
+		opts.Policy = ftl.NewRandomPolicy(7)
+		opts.MappingCache = 1024
+		stack := smallConfig(opts)
+		stack.BufferPages = 32
+		stack.QueueDepth = 8
+		return stack
+	}})
+
+	defer SetForceFullReseed(false)
+	for _, c := range cells {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := c.mk()
+			spec := specFor(t, cfg, trace.Mail, 1200)
+			cold, err := Run(cfg, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldJSON, err := json.Marshal(cold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap, err := NewSnapshot(c.mk(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check := func(label string, res *Result) {
+				t.Helper()
+				if !reflect.DeepEqual(cold, res) {
+					t.Fatalf("%s run diverged from cold run", label)
+				}
+				j, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(j) != string(coldJSON) {
+					t.Fatalf("%s run JSON differs from cold run JSON", label)
+				}
+			}
+			// First run cuts the fresh tracked clone and parks it.
+			fresh, err := RunWarmRecycled(snap, c.mk(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("fresh-clone", fresh)
+			// Second run re-seeds it through the dirty-chunk path.
+			SetForceFullReseed(false)
+			dirty, err := RunWarmRecycled(snap, c.mk(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("dirty-recycled", dirty)
+			// Third run re-seeds through the forced full-copy path.
+			SetForceFullReseed(true)
+			fullRes, err := RunWarmRecycled(snap, c.mk(), spec)
+			SetForceFullReseed(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("full-recycled", fullRes)
+		})
+	}
+}
+
+// BenchmarkReseed measures the dirty-chunk re-seed on the pinned shape
+// and reports the exact bytes each path copies (reseed-bytes/op vs
+// full-bytes/op) — the allocator-level B/op is ~0 for both paths, since
+// both reuse every backing array.
+func BenchmarkReseed(b *testing.B) {
+	cfg, spec, replay := reseedShape(b)
+	snap, err := NewSnapshot(cfg, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := snap.Acquire(cfg.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := replayOn(r, snap.offset, replay); err != nil {
+		b.Fatal(err)
+	}
+	r.markAllCOW()
+	fullBytes := r.reseed(snap.master)
+
+	var dirtyBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := replayOn(r, snap.offset, replay); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		dirtyBytes = r.reseed(snap.master)
+	}
+	b.ReportMetric(float64(dirtyBytes), "reseed-bytes/op")
+	b.ReportMetric(float64(fullBytes), "full-bytes/op")
+}

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"cagc/internal/pool"
 	"cagc/internal/sim"
 	"cagc/internal/trace"
 )
@@ -134,6 +135,14 @@ type BatchBench struct {
 	AggPerCoreSerial  float64 `json:"agg_per_core_serial"`  // AggSerial / 1 worker
 	AggPerCoreBatched float64 `json:"agg_per_core_batched"` // AggBatched / Workers
 	Speedup           float64 `json:"speedup"`              // SerialNs / BatchNs
+
+	// Scheduler/recycler telemetry of the batched leg: work-steal count
+	// (pool.Run deque steals), dirty-chunk re-seeds served from the
+	// clone free-list, and the bytes those re-seeds copied. Wall-clock
+	// facts, never part of deterministic results.
+	Steals      uint64 `json:"steals"`
+	Reseeds     uint64 `json:"reseeds"`
+	ReseedBytes uint64 `json:"reseed_bytes"`
 }
 
 // FleetBench records the fleet-engine comparison: one fixed perturbed
@@ -165,6 +174,12 @@ type FleetBench struct {
 	Speedup              float64 `json:"speedup"` // SerialNs / FleetNs
 
 	PeakClones int `json:"peak_clones"`
+
+	// Scheduler/recycler telemetry of the parallel leg, mirroring
+	// BatchBench: shard steals, dirty-chunk re-seeds, and re-seed bytes.
+	Steals      uint64 `json:"steals"`
+	Reseeds     uint64 `json:"reseeds"`
+	ReseedBytes uint64 `json:"reseed_bytes"`
 }
 
 // HistoryRow is one (PR, workload) point of the substrate trajectory:
@@ -196,12 +211,15 @@ var substrateHistory = []HistoryRow{
 	{PR: "PR 6", Change: "hybrid auto scheduler, batched multi-run engine, LRU snapshot registry", Workload: "Mail", NsPerOp: 5202171, AllocsPerOp: 302, EventsPerSec: 10417572.7},
 	{PR: "PR 6", Change: "hybrid auto scheduler, batched multi-run engine, LRU snapshot registry", Workload: "Homes", NsPerOp: 5623923, AllocsPerOp: 304, EventsPerSec: 11988606.5},
 	{PR: "PR 6", Change: "hybrid auto scheduler, batched multi-run engine, LRU snapshot registry", Workload: "Web-vm", NsPerOp: 12189873, AllocsPerOp: 315, EventsPerSec: 13932547.9},
+	{PR: "PR 7", Change: "fleet-scale sharded execution, clone free-list recycling", Workload: "Mail", NsPerOp: 5756963, AllocsPerOp: 302, EventsPerSec: 9413643.8},
+	{PR: "PR 7", Change: "fleet-scale sharded execution, clone free-list recycling", Workload: "Homes", NsPerOp: 6135316, AllocsPerOp: 304, EventsPerSec: 10989326.3},
+	{PR: "PR 7", Change: "fleet-scale sharded execution, clone free-list recycling", Workload: "Web-vm", NsPerOp: 13210684, AllocsPerOp: 315, EventsPerSec: 12855958.1},
 }
 
 // currentHistoryLabel names the rows this measurement contributes.
 const (
-	currentHistoryPR     = "PR 7"
-	currentHistoryChange = "fleet-scale sharded execution, clone free-list recycling"
+	currentHistoryPR     = "PR 8"
+	currentHistoryChange = "chunked copy-on-write re-seeding, batch-aware work stealing"
 )
 
 // simulatedEvents tallies the discrete operations the substrate
@@ -425,10 +443,13 @@ func measureBatch(w Workload, s Scheme, policy string, p Params) (BatchBench, er
 	if err := serial.Err(); err != nil {
 		return BatchBench{}, err
 	}
+	steals0 := pool.Steals()
+	clones0 := sim.CloneGaugeStats()
 	batched := RunBatch(items, runtime.NumCPU())
 	if err := batched.Err(); err != nil {
 		return BatchBench{}, err
 	}
+	clones1 := sim.CloneGaugeStats()
 	bb := BatchBench{
 		Name: fmt.Sprintf("%s × %s × %s, %d seeds, %d MiB device, %d reqs/run (warm)",
 			w, s, policy, sweepSeeds, sweepDeviceBytes>>20, sweepRequests),
@@ -441,6 +462,9 @@ func measureBatch(w Workload, s Scheme, policy string, p Params) (BatchBench, er
 		AggSerial:  serial.AggregateEventsPerSec(),
 		AggBatched: batched.AggregateEventsPerSec(),
 	}
+	bb.Steals = pool.Steals() - steals0
+	bb.Reseeds = clones1.Reseeds - clones0.Reseeds
+	bb.ReseedBytes = clones1.ReseedBytes - clones0.ReseedBytes
 	bb.AggPerCoreSerial = bb.AggSerial
 	if bb.Workers > 0 {
 		bb.AggPerCoreBatched = bb.AggBatched / float64(bb.Workers)
@@ -498,10 +522,12 @@ func measureFleet(w Workload, s Scheme, policy string, p Params) (FleetBench, er
 	parFp := fp
 	parFp.Workers = runtime.NumCPU()
 	sim.ResetCloneGauge()
+	steals0 := pool.Steals()
 	par, err := RunFleet(w, s, policy, q, parFp)
 	if err != nil {
 		return FleetBench{}, err
 	}
+	parClones := sim.CloneGaugeStats()
 	fb := FleetBench{
 		Name: fmt.Sprintf("%s × %s × %s, %d devices, %d reqs/device, %d×%d classes (warm)",
 			w, s, policy, fleetBenchDevices, fleetBenchRequests, fleetBenchUtilCls, fleetBenchStagger),
@@ -516,7 +542,10 @@ func measureFleet(w Workload, s Scheme, policy string, p Params) (FleetBench, er
 		Events:            par.Result.Events,
 		DevicesPerSec:     par.DevicesPerSec(),
 		AggEventsPerSec:   par.AggregateEventsPerSec(),
-		PeakClones:        sim.CloneGaugeStats().Peak,
+		PeakClones:        parClones.Peak,
+		Steals:            pool.Steals() - steals0,
+		Reseeds:           parClones.Reseeds,
+		ReseedBytes:       parClones.ReseedBytes,
 	}
 	if fb.Workers > 0 {
 		fb.DevicesPerSecPerCore = fb.DevicesPerSec / float64(fb.Workers)
