@@ -1,6 +1,7 @@
 package cagc
 
 import (
+	"context"
 	"fmt"
 
 	icagc "cagc/internal/cagc"
@@ -49,6 +50,32 @@ var Schemes = icagc.Schemes
 
 // ParseScheme resolves a scheme CLI name.
 func ParseScheme(name string) (Scheme, error) { return icagc.ParseScheme(name) }
+
+// SchemeNames lists the canonical scheme CLI names, in the paper's
+// presentation order.
+func SchemeNames() []string { return icagc.SchemeNames() }
+
+// PolicyNames lists the canonical victim-policy names ValidatePolicy
+// accepts.
+func PolicyNames() []string { return []string{"greedy", "random", "cost-benefit"} }
+
+// SchedNames lists the event-scheduler names ValidateSched accepts.
+func SchedNames() []string { return []string{"auto", "calendar", "heap"} }
+
+// ValidatePolicy rejects unknown victim-policy names — the same check
+// Run performs, exposed so front ends (CLI flag validation, service
+// admission) can fail before committing resources.
+func ValidatePolicy(name string) error {
+	_, err := ftl.PolicyByName(name, 1)
+	return err
+}
+
+// ValidateSched rejects unknown event-scheduler names, mirroring
+// ValidatePolicy.
+func ValidateSched(name string) error {
+	_, err := event.ParseSched(name)
+	return err
+}
 
 // Result is the full measurement record of one simulation run.
 type Result = sim.Result
@@ -123,6 +150,13 @@ type Params struct {
 	// the knob exists for differential testing and performance
 	// comparison.
 	Sched string
+	// Ctx, when non-nil, bounds the run's wall clock: the replay (and,
+	// on cold starts, the precondition fill) polls it periodically and
+	// fails with an error wrapping ctx.Err() once it is done. Purely a
+	// wall-clock bound — a run that completes under a context is
+	// bit-identical to one without. Shared warm-snapshot builds are
+	// never cancelled by one run's context.
+	Ctx context.Context
 }
 
 func (p Params) withDefaults() Params {
@@ -198,6 +232,7 @@ func buildRun(w Workload, opts Options, policy string, p Params) (sim.Config, tr
 		QueueDepth:  p.QueueDepth,
 		Tracer:      p.Trace,
 		Sched:       sched,
+		Ctx:         p.Ctx,
 	}
 	spec, err := trace.Preset(w, sim.LogicalPagesOf(cfg), p.Requests, p.Seed)
 	if err != nil {

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Bad flags fail before the listener ever opens.
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-queue", "0"},
+		{"-queue", "-3"},
+		{"-jobworkers", "-1"},
+		{"-cache", "0"},
+		{"-timeout", "-1s"},
+		{"-drain", "-1s"},
+		{"-addr", "localhost:0", "stray-arg"},
+	}
+	for _, args := range cases {
+		var stderr bytes.Buffer
+		err := run(args, &stderr, nil, func(string) {
+			t.Errorf("args %v: listener opened despite bad flags", args)
+		})
+		if err == nil {
+			t.Errorf("args %v: no error", args)
+		}
+	}
+}
+
+// The service comes up, answers a round trip, and a signal drains it.
+func TestRunServesAndShutsDown(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	var stderr bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "localhost:0", "-queue", "4"},
+			&stderr, sig, func(addr string) { addrc <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("run exited early: %v\n%s", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("listener never came up")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json",
+		strings.NewReader(`{"params":{"DeviceBytes":16777216,"Requests":1000,"Seed":5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("submit: status %d, body %+v", resp.StatusCode, st)
+	}
+
+	// Poll until done, then fetch the document.
+	deadline := time.Now().Add(30 * time.Second)
+	for st.Status != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get("http://" + addr + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	r, err := http.Get("http://" + addr + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"config_key"`)) {
+		t.Fatalf("result: status %d, body %.120s", r.StatusCode, body)
+	}
+
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("shutdown never completed")
+	}
+	if !strings.Contains(stderr.String(), "shutting down") {
+		t.Fatalf("no shutdown banner:\n%s", stderr.String())
+	}
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,60 +28,67 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "cagcsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() (retErr error) {
+// run is the testable body of main. Every flag is validated before any
+// side effect (in particular before profile files are created): a bad
+// invocation exits with an error and leaves the filesystem untouched.
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("cagcsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload = flag.String("workload", "Mail", "workload preset: Homes, Web-vm, or Mail")
-		scheme   = flag.String("scheme", "cagc", "scheme: baseline, inline, or cagc")
-		policy   = flag.String("policy", "greedy", "victim policy: greedy, random, or cost-benefit")
-		device   = flag.Int64("device", 16<<20, "physical flash bytes (Table-I parameters at any scale)")
-		requests = flag.Int("requests", 20000, "measured requests to replay")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		util     = flag.Float64("util", 0.55, "logical space as a fraction of user capacity")
-		thresh   = flag.Int("threshold", 1, "CAGC hot/cold reference-count threshold")
-		qd       = flag.Int("qd", 0, "closed-loop queue depth (0 = open-loop trace replay)")
-		sched    = flag.String("sched", "auto", "event scheduler: auto, calendar, or heap (byte-identical results)")
-		bufPages = flag.Int("buffer", 0, "controller write-buffer pages (0 = none)")
-		asJSON   = flag.Bool("json", false, "emit the result as JSON instead of the text report")
+		workload = fs.String("workload", "Mail", "workload preset: Homes, Web-vm, or Mail")
+		scheme   = fs.String("scheme", "cagc", "scheme: baseline, inline, or cagc")
+		policy   = fs.String("policy", "greedy", "victim policy: greedy, random, or cost-benefit")
+		device   = fs.Int64("device", 16<<20, "physical flash bytes (Table-I parameters at any scale)")
+		requests = fs.Int("requests", 20000, "measured requests to replay")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		util     = fs.Float64("util", 0.55, "logical space as a fraction of user capacity")
+		thresh   = fs.Int("threshold", 1, "CAGC hot/cold reference-count threshold")
+		qd       = fs.Int("qd", 0, "closed-loop queue depth (0 = open-loop trace replay)")
+		sched    = fs.String("sched", "auto", "event scheduler: auto, calendar, or heap (byte-identical results)")
+		bufPages = fs.Int("buffer", 0, "controller write-buffer pages (0 = none)")
+		asJSON   = fs.Bool("json", false, "emit the result as JSON instead of the text report")
 
-		cold = flag.Bool("coldstart", false, "bypass the warm-state snapshot cache (build and precondition from scratch)")
+		cold = fs.Bool("coldstart", false, "bypass the warm-state snapshot cache (build and precondition from scratch)")
 
-		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in chrome://tracing or Perfetto)")
-		traceSum  = flag.Bool("trace-summary", false, "print the trace summary (per-phase GC attribution, fingerprint/erase overlap, latency percentiles) to stderr")
-		traceLast = flag.Int("trace-last", 0, "flight-recorder mode: keep only the last N trace events (0 = unbounded)")
+		traceOut  = fs.String("trace", "", "write a Chrome trace_event JSON of the run to this file (load in chrome://tracing or Perfetto)")
+		traceSum  = fs.Bool("trace-summary", false, "print the trace summary (per-phase GC attribution, fingerprint/erase overlap, latency percentiles) to stderr")
+		traceLast = fs.Int("trace-last", 0, "flight-recorder mode: keep only the last N trace events (0 = unbounded)")
 
-		batch   = flag.Int("batch", 0, "run a batch of N seed-varied runs (seeds seed..seed+N-1) and print the aggregate throughput report")
-		workers = flag.Int("workers", 0, "worker goroutines for -batch and -fleet (0 = one per core)")
+		batch   = fs.Int("batch", 0, "run a batch of N seed-varied runs (seeds seed..seed+N-1) and print the aggregate throughput report")
+		workers = fs.Int("workers", 0, "worker goroutines for -batch and -fleet (0 = one per core)")
 
-		fleetN       = flag.Int("fleet", 0, "simulate a fleet of N per-device-perturbed SSDs and print the merged fleet report (deterministic at any -workers)")
-		fleetShard   = flag.Int("fleet-shard", 0, "devices per shard (scheduling granularity only; 0 = default 64)")
-		fleetUtil    = flag.Float64("fleet-util-spread", 0, "total width of per-device utilization skew (0 = uniform fleet)")
-		fleetUtilCls = flag.Int("fleet-util-classes", 0, "distinct utilization classes, one warm snapshot each (0 = default 4 when skew is on)")
-		fleetStagger = flag.Int("fleet-stagger", 0, "GC-watermark stagger classes desynchronizing fleet GC (0 or 1 = coordinated watermarks)")
-		fleetDiurnal = flag.Float64("fleet-diurnal", 0, "per-device arrival-rate spread: mean inter-arrival scaled by 1 +/- this/2")
-		fleetTopK    = flag.Int("fleet-topk", 0, "straggler devices to report (0 = default 10)")
+		fleetN       = fs.Int("fleet", 0, "simulate a fleet of N per-device-perturbed SSDs and print the merged fleet report (deterministic at any -workers)")
+		fleetShard   = fs.Int("fleet-shard", 0, "devices per shard (scheduling granularity only; 0 = default 64)")
+		fleetUtil    = fs.Float64("fleet-util-spread", 0, "total width of per-device utilization skew (0 = uniform fleet)")
+		fleetUtilCls = fs.Int("fleet-util-classes", 0, "distinct utilization classes, one warm snapshot each (0 = default 4 when skew is on)")
+		fleetStagger = fs.Int("fleet-stagger", 0, "GC-watermark stagger classes desynchronizing fleet GC (0 or 1 = coordinated watermarks)")
+		fleetDiurnal = fs.Float64("fleet-diurnal", 0, "per-device arrival-rate spread: mean inter-arrival scaled by 1 +/- this/2")
+		fleetTopK    = fs.Int("fleet-topk", 0, "straggler devices to report (0 = default 10)")
 
-		arrayMode = flag.String("array", "", "replay through a multi-SSD volume instead of one device: raid0 (striped) or raid1 (mirrored)")
-		members   = flag.Int("members", 2, "array members for -array")
-		stagger   = flag.Bool("stagger", false, "stagger array member GC watermarks (-array)")
-		steer     = flag.Bool("steer", false, "GC-aware read steering (-array raid1)")
+		arrayMode = fs.String("array", "", "replay through a multi-SSD volume instead of one device: raid0 (striped) or raid1 (mirrored)")
+		members   = fs.Int("members", 2, "array members for -array")
+		stagger   = fs.Bool("stagger", false, "stagger array member GC watermarks (-array)")
+		steer     = fs.Bool("steer", false, "GC-aware read steering (-array raid1)")
 
-		bench    = flag.Bool("bench", false, "measure substrate throughput (events/sec, ns/op, allocs/op) instead of printing a report")
-		benchOut = flag.String("benchout", "BENCH_substrate.json", "file the -bench report is written to ('' = stdout only)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
+		bench    = fs.Bool("bench", false, "measure substrate throughput (events/sec, ns/op, allocs/op) instead of printing a report")
+		benchOut = fs.String("benchout", "BENCH_substrate.json", "file the -bench report is written to ('' = stdout only)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	// Scheduling flags keep 0 as a "use the default" sentinel, so only
 	// explicitly-set bad values are rejected.
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if err := validateSchedFlags(set, *fleetShard, *workers, *fleetTopK); err != nil {
 		return err
 	}
@@ -91,6 +99,15 @@ func run() (retErr error) {
 	}
 	w, err := findWorkload(*workload)
 	if err != nil {
+		return err
+	}
+	// Name-shaped knobs the run would otherwise only reject after the
+	// harness has committed resources: fail them here, with everything
+	// else, before any file is created.
+	if err := cagc.ValidatePolicy(*policy); err != nil {
+		return err
+	}
+	if err := cagc.ValidateSched(*sched); err != nil {
 		return err
 	}
 	p := cagc.Params{
@@ -135,6 +152,7 @@ func run() (retErr error) {
 		p.Trace = rec
 	}
 
+	// Validation is complete; side effects (profile files) may start.
 	stop, err := profiling.Start(*cpuProf, *memProf)
 	if err != nil {
 		return err
@@ -150,14 +168,14 @@ func run() (retErr error) {
 		if err != nil {
 			return err
 		}
-		if err := cagc.WriteBenchJSON(os.Stdout, sb); err != nil {
+		if err := cagc.WriteBenchJSON(stdout, sb); err != nil {
 			return err
 		}
 		if *benchOut != "" {
 			if err := cagc.WriteBenchFile(*benchOut, sb); err != nil {
 				return err
 			}
-			fmt.Fprintln(os.Stderr, "cagcsim: wrote", *benchOut)
+			fmt.Fprintln(stderr, "cagcsim: wrote", *benchOut)
 		}
 		return nil
 	}
@@ -165,13 +183,7 @@ func run() (retErr error) {
 	if *fleetN > 0 {
 		// Fleet scale trades per-device depth for breadth: default to
 		// 2000 requests per device unless the user asked for a count.
-		requestsSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "requests" {
-				requestsSet = true
-			}
-		})
-		if !requestsSet {
+		if !set["requests"] {
 			p.Requests = 2000
 		}
 		fr, err := cagc.RunFleet(w, s, *policy, p, cagc.FleetParams{
@@ -187,8 +199,8 @@ func run() (retErr error) {
 		if err != nil {
 			return err
 		}
-		reportCache()
-		if err := exportTrace(rec, *traceOut, *traceSum,
+		reportCache(stderr)
+		if err := exportTrace(stderr, rec, *traceOut, *traceSum,
 			fmt.Sprintf("fleet %d x %s x %s x %s", *fleetN, w, s, *policy)); err != nil {
 			return err
 		}
@@ -196,15 +208,15 @@ func run() (retErr error) {
 			// The JSON document is the deterministic fleet report —
 			// byte-identical at any -workers, so CI diffs it. Wall-clock
 			// facts go to stderr, exactly like batch mode.
-			if err := cagc.WriteFleetJSON(os.Stdout, fr.Result); err != nil {
+			if err := cagc.WriteFleetJSON(stdout, fr.Result); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "fleet: %d devices, %d workers, wall %v, %.1f devices/s, %.0f events/s\n",
+			fmt.Fprintf(stderr, "fleet: %d devices, %d workers, wall %v, %.1f devices/s, %.0f events/s\n",
 				fr.Result.Devices, fr.Workers, fr.Wall.Round(time.Millisecond),
 				fr.DevicesPerSec(), fr.AggregateEventsPerSec())
 			return nil
 		}
-		cagc.FprintFleet(os.Stdout, fr)
+		cagc.FprintFleet(stdout, fr)
 		return nil
 	}
 
@@ -219,9 +231,9 @@ func run() (retErr error) {
 			return err
 		}
 		if *asJSON {
-			return cagc.WriteArrayJSON(os.Stdout, res)
+			return cagc.WriteArrayJSON(stdout, res)
 		}
-		cagc.FprintArray(os.Stdout, res)
+		cagc.FprintArray(stdout, res)
 		return nil
 	}
 
@@ -231,26 +243,31 @@ func run() (retErr error) {
 			seeds[i] = *seed + int64(i)
 		}
 		b := cagc.RunBatch(cagc.SeedBatch(w, s, *policy, p, seeds), *workers)
-		reportCache()
+		reportCache(stderr)
 		if err := b.Err(); err != nil {
 			return fmt.Errorf("batch: %d completed, %d failed, %d skipped; first failure: %w",
 				b.Completed(), b.Failed(), b.Skipped(), err)
 		}
 		if *asJSON {
 			// One JSON document per run, in seed order: deterministic at
-			// any worker count (the aggregate report carries wall-clock,
-			// so it goes to stderr here).
-			for _, res := range b.Results {
-				if err := cagc.WriteJSON(os.Stdout, res); err != nil {
+			// any worker count, each stamped with its member's canonical
+			// config key — the prefix property CI relies on (a batch's
+			// documents are exactly the single runs' documents). The
+			// aggregate report carries wall-clock, so it goes to stderr.
+			for i, res := range b.Results {
+				q := p
+				q.Seed = seeds[i]
+				key := cagc.ConfigKey(w, s, *policy, q)
+				if err := cagc.WriteJSONKey(stdout, res, key); err != nil {
 					return err
 				}
 			}
-			fmt.Fprintf(os.Stderr, "batch: %d runs, %d workers, wall %v, aggregate %.0f events/s\n",
+			fmt.Fprintf(stderr, "batch: %d runs, %d workers, wall %v, aggregate %.0f events/s\n",
 				*batch, b.Workers, b.Wall.Round(time.Millisecond), b.AggregateEventsPerSec())
 			return nil
 		}
-		fmt.Printf("batch: %d runs x %s x %s x %s, %d workers\n", *batch, w, s, *policy, b.Workers)
-		fmt.Printf("wall %v  events %d  aggregate %.0f events/s  (%.0f events/s/worker)\n",
+		fmt.Fprintf(stdout, "batch: %d runs x %s x %s x %s, %d workers\n", *batch, w, s, *policy, b.Workers)
+		fmt.Fprintf(stdout, "wall %v  events %d  aggregate %.0f events/s  (%.0f events/s/worker)\n",
 			b.Wall.Round(time.Millisecond), b.Events,
 			b.AggregateEventsPerSec(), b.AggregateEventsPerSec()/float64(b.Workers))
 		return nil
@@ -260,17 +277,19 @@ func run() (retErr error) {
 	if err != nil {
 		return err
 	}
-	reportCache()
-	if err := exportTrace(rec, *traceOut, *traceSum,
+	reportCache(stderr)
+	if err := exportTrace(stderr, rec, *traceOut, *traceSum,
 		fmt.Sprintf("%s x %s x %s", w, s, *policy)); err != nil {
 		return err
 	}
 	if *asJSON {
-		return cagc.WriteJSON(os.Stdout, res)
+		// Stamped with the run's canonical config key — the identity the
+		// result cache and the serving layer key on.
+		return cagc.WriteJSONKey(stdout, res, cagc.ConfigKey(w, s, *policy, p))
 	}
-	fmt.Println(cagc.TableIString(p))
-	fmt.Println()
-	cagc.FprintResult(os.Stdout, res)
+	fmt.Fprintln(stdout, cagc.TableIString(p))
+	fmt.Fprintln(stdout)
+	cagc.FprintResult(stdout, res)
 	return nil
 }
 
@@ -294,7 +313,7 @@ func validateSchedFlags(set map[string]bool, fleetShard, workers, fleetTopK int)
 // exportTrace writes the Chrome JSON and/or prints the summary. Both
 // land outside stdout's report (file / stderr), so traced and untraced
 // runs keep byte-identical stdout.
-func exportTrace(rec *cagc.TraceRecorder, out string, summary bool, label string) error {
+func exportTrace(stderr io.Writer, rec *cagc.TraceRecorder, out string, summary bool, label string) error {
 	if rec == nil {
 		return nil
 	}
@@ -310,23 +329,23 @@ func exportTrace(rec *cagc.TraceRecorder, out string, summary bool, label string
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "cagcsim: wrote %s (%d events, %d dropped)\n",
+		fmt.Fprintf(stderr, "cagcsim: wrote %s (%d events, %d dropped)\n",
 			out, rec.Len(), rec.Dropped())
 	}
 	if summary {
-		return cagc.SummarizeTrace(rec).WriteText(os.Stderr, label)
+		return cagc.SummarizeTrace(rec).WriteText(stderr, label)
 	}
 	return nil
 }
 
 // reportCache prints warm-state snapshot cache activity to stderr
 // (stdout stays machine-readable).
-func reportCache() {
+func reportCache(stderr io.Writer) {
 	st := cagc.WarmCacheStats()
 	if st.Hits+st.Misses == 0 {
 		return
 	}
-	fmt.Fprintf(os.Stderr, "cagcsim: warm-state cache: %d hits, %d misses, %d evictions, %d/%d snapshots\n",
+	fmt.Fprintf(stderr, "cagcsim: warm-state cache: %d hits, %d misses, %d evictions, %d/%d snapshots\n",
 		st.Hits, st.Misses, st.Evictions, st.Snapshots, st.Capacity)
 }
 

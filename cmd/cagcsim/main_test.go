@@ -1,12 +1,81 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"cagc"
 )
 
 // Explicitly-set scheduling flags outside their domain must fail with a
 // clear one-line error; unset flags (and their 0 sentinels) must not.
+// A bad invocation must fail before any side effect: in particular,
+// profile files must not be created when flag validation rejects the
+// run. (Profiling used to start before policy/sched names were checked,
+// leaving stray pprof files behind.)
+func TestValidationPrecedesProfiling(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "psychic"},
+		{"-sched", "quantum"},
+		{"-workload", "postgres"},
+		{"-scheme", "raid5"},
+		{"-bench", "-batch", "2"},
+		{"-trace-last", "5"},
+	}
+	for _, args := range cases {
+		dir := t.TempDir()
+		cpu := filepath.Join(dir, "cpu.pprof")
+		mem := filepath.Join(dir, "mem.pprof")
+		var stdout, stderr bytes.Buffer
+		err := run(append(args, "-cpuprofile", cpu, "-memprofile", mem), &stdout, &stderr)
+		if err == nil {
+			t.Errorf("args %v: no error", args)
+			continue
+		}
+		for _, f := range []string{cpu, mem} {
+			if _, statErr := os.Stat(f); !os.IsNotExist(statErr) {
+				t.Errorf("args %v: profile file %s was created despite validation failure", args, f)
+			}
+		}
+	}
+}
+
+// -json output is stamped with the run's canonical config key, and a
+// batch's documents are exactly the single runs' documents in seed
+// order (the prefix property CI byte-compares).
+func TestJSONCarriesConfigKey(t *testing.T) {
+	args := []string{"-device", "16777216", "-requests", "1500", "-seed", "3", "-json"}
+	var single, stderr bytes.Buffer
+	if err := run(args, &single, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	p := cagc.Params{DeviceBytes: 16 << 20, Requests: 1500, Seed: 3,
+		Utilization: 0.55, RefThreshold: 1, Sched: "auto"}
+	key := cagc.ConfigKey(cagc.Mail, cagc.CAGC, "greedy", p)
+	if !strings.Contains(single.String(), `"config_key": "`+key+`"`) {
+		t.Fatalf("single -json output missing config key %s:\n%.200s", key, single.String())
+	}
+
+	var second bytes.Buffer
+	args[5] = "4" // seed 4
+	if err := run(args, &second, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var batch bytes.Buffer
+	if err := run([]string{"-device", "16777216", "-requests", "1500", "-seed", "3",
+		"-batch", "2", "-workers", "2", "-json"}, &batch, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	want := single.String() + second.String()
+	if batch.String() != want {
+		t.Fatalf("batch -json is not the concatenation of its single runs:\n--- batch ---\n%s--- singles ---\n%s",
+			batch.String(), want)
+	}
+}
+
 func TestValidateSchedFlags(t *testing.T) {
 	cases := []struct {
 		name       string

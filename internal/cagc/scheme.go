@@ -44,6 +44,24 @@ func (s Scheme) String() string {
 	}
 }
 
+// SchemeNames lists the canonical CLI names ParseScheme accepts, in the
+// paper's presentation order — the vocabulary service catalogs and
+// usage strings enumerate.
+func SchemeNames() []string {
+	names := make([]string, len(Schemes))
+	for i, s := range Schemes {
+		switch s {
+		case Baseline:
+			names[i] = "baseline"
+		case InlineDedupe:
+			names[i] = "inline"
+		case CAGC:
+			names[i] = "cagc"
+		}
+	}
+	return names
+}
+
 // ParseScheme resolves a CLI name.
 func ParseScheme(name string) (Scheme, error) {
 	switch name {

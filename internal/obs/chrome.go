@@ -41,6 +41,8 @@ func trackName(t Track) string {
 		return "scheduler"
 	case TrackFleet:
 		return "fleet"
+	case TrackServe:
+		return "serve"
 	}
 	if die, ok := IsDieTrack(t); ok {
 		return fmt.Sprintf("die %d", die)

@@ -52,6 +52,11 @@ const (
 	// Times on this track are harness wall-clock, not simulated time —
 	// the fleet engine runs many simulations, it is not inside one.
 	TrackFleet Track = 6
+	// TrackServe carries serving-layer telemetry: one span per job
+	// (queue-wait and execution), plus cache-hit and admission-reject
+	// instants. Like TrackFleet, times are harness wall-clock — the
+	// service runs simulations, it is not inside one.
+	TrackServe Track = 7
 
 	trackDieBase  Track = 100
 	trackHashBase Track = 10000
@@ -142,6 +147,12 @@ const (
 	KSchedSteal  // tasks executed by a worker other than the one they were dealt to (cumulative)
 	KSchedReseed // dirty-chunk runner re-seeds served from the clone free-list (cumulative)
 
+	// Serving layer (TrackServe; wall-clock times).
+	KServeWait     // span: a job's time in the admission queue (arg = job sequence)
+	KServeJob      // span: a job's execution, dequeue → result (arg = job sequence)
+	KServeCacheHit // instant: a submission answered from the result cache (arg = job sequence)
+	KServeReject   // instant: a submission refused by admission control (arg = queue depth)
+
 	numKinds
 )
 
@@ -197,6 +208,12 @@ var kindTable = [numKinds]kindInfo{
 	// outside any request scope.
 	KSchedSteal:  {name: "sched.steals", ph: 'C', detached: true},
 	KSchedReseed: {name: "sched.reseeds", ph: 'C', detached: true},
+	// Serving-layer events are harness work around whole simulations,
+	// never nested inside any request scope.
+	KServeWait:     {name: "serve.wait", ph: 'X', detached: true},
+	KServeJob:      {name: "serve.job", ph: 'X', detached: true},
+	KServeCacheHit: {name: "serve.cache_hit", ph: 'i', detached: true},
+	KServeReject:   {name: "serve.reject", ph: 'i', detached: true},
 }
 
 // Name returns the kind's fixed event name.

@@ -1,0 +1,100 @@
+package pool
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Admission is bounded: with workers wedged and the buffer full,
+// TrySubmit refuses immediately and the refused job never runs.
+func TestQueueOverflowRejects(t *testing.T) {
+	const depth = 2
+	block := make(chan struct{})
+	q := NewQueue(depth, 1)
+	var ran atomic.Int32
+	started := make(chan struct{})
+	// Wedge the single worker, then fill the buffer.
+	if err := q.TrySubmit(func() { close(started); <-block; ran.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < depth; i++ {
+		if err := q.TrySubmit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	var rejected atomic.Int32
+	if err := q.TrySubmit(func() { rejected.Add(1) }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	st := q.Stats()
+	if st.Depth != depth || st.Running != 1 || st.Rejected != 1 || st.Admitted != depth+1 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+	close(block)
+	q.Close()
+	if got := ran.Load(); got != depth+1 {
+		t.Fatalf("%d jobs ran, want %d", got, depth+1)
+	}
+	if rejected.Load() != 0 {
+		t.Fatal("a rejected job executed")
+	}
+}
+
+// Close drains: every admitted job runs to completion, submissions
+// after Close are refused, and the final counters balance.
+func TestQueueCloseDrains(t *testing.T) {
+	const jobs = 64
+	q := NewQueue(jobs, 4)
+	var ran atomic.Int32
+	for i := 0; i < jobs; i++ {
+		if err := q.TrySubmit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	q.Close()
+	if got := ran.Load(); got != jobs {
+		t.Fatalf("%d jobs ran after Close, want %d (drain dropped work)", got, jobs)
+	}
+	if err := q.TrySubmit(func() {}); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("want ErrQueueClosed, got %v", err)
+	}
+	st := q.Stats()
+	if st.Done != jobs || st.Depth != 0 || st.Running != 0 {
+		t.Fatalf("post-drain stats: %+v", st)
+	}
+	q.Close() // idempotent
+}
+
+// Concurrent submitters racing a Close never panic, never lose an
+// admitted job, and every outcome is admitted or cleanly refused.
+func TestQueueConcurrentSubmitClose(t *testing.T) {
+	q := NewQueue(8, 2)
+	var admitted, ran atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				err := q.TrySubmit(func() { ran.Add(1) })
+				switch {
+				case err == nil:
+					admitted.Add(1)
+				case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
+				default:
+					t.Errorf("unexpected submit error: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	q.Close()
+	wg.Wait()
+	// Stragglers admitted before Close won the race; Close drained them.
+	if ran.Load() != admitted.Load() {
+		t.Fatalf("%d admitted but %d ran", admitted.Load(), ran.Load())
+	}
+}

@@ -12,6 +12,7 @@ package sim
 // synchronous loop this replaced.
 
 import (
+	"context"
 	"fmt"
 
 	"cagc/internal/event"
@@ -63,7 +64,8 @@ type replayState struct {
 
 	arrive  event.ArgHandler
 	release event.ArgHandler
-	tron    bool // tracer enabled: sample scheduler depth periodically
+	tron    bool            // tracer enabled: sample scheduler depth periodically
+	ctx     context.Context // nil unless the run is deadline-bounded
 }
 
 func (st *replayState) fail(err error) {
@@ -195,6 +197,11 @@ func (st *replayState) record(req trace.Request, done event.Time) {
 	if st.tron && res.Requests%schedSampleEvery == 0 {
 		st.r.tr.Counter(obs.TrackSched, obs.KSchedDepth, req.At, uint64(st.r.es.Pending()))
 	}
+	if st.ctx != nil && res.Requests%cancelPollEvery == 0 {
+		if err := canceled(st.ctx, "replay"); err != nil {
+			st.fail(err)
+		}
+	}
 }
 
 // Replay runs the measured trace. Arrival times in src are shifted by
@@ -229,9 +236,14 @@ func (r *Runner) Replay(src trace.Source, offset event.Time, workload string) (*
 		firstArrival: -1,
 		floor:        r.es.Now(),
 		tron:         r.tr.Enabled(),
+		ctx:          r.cfg.Ctx,
 	}
 	st.arrive = st.onArrive
 	st.release = st.onRelease
+	// A run whose deadline already passed fails before serving anything.
+	if err := canceled(st.ctx, "replay"); err != nil {
+		return nil, err
+	}
 
 	if qd := r.cfg.QueueDepth; qd > 0 {
 		// Seed one issue token per queue slot, all carrying the issue

@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"cagc/internal/buffer"
@@ -65,6 +66,14 @@ type Config struct {
 	// and performance comparison. Excluded from warm-state snapshot
 	// identity, like Tracer.
 	Sched event.SchedKind
+	// Ctx, when non-nil, bounds the run: the precondition fill and the
+	// measured replay poll it periodically and abort with an error
+	// wrapping ctx.Err() once it is done. Simulated time is oblivious to
+	// the deadline — a run either completes with the identical Result an
+	// unbounded run produces, or fails; there are no partial results.
+	// Excluded from warm-state snapshot identity (shared snapshot builds
+	// are never cancelled by one caller's deadline), like Tracer.
+	Ctx context.Context
 }
 
 // Normalized returns the config with defaults applied — the exact
@@ -277,11 +286,30 @@ func (r *Runner) serveRequest(req trace.Request) (event.Time, error) {
 	return done, nil
 }
 
+// cancelPollEvery is the request period at which the precondition fill
+// and the measured replay poll Config.Ctx (power of two; the poll is
+// one atomic load inside ctx.Err, but keeping it off the per-request
+// path preserves the hot loop).
+const cancelPollEvery = 256
+
+// canceled returns the context's error wrapped with phase, or nil while
+// the run may proceed. A nil context never cancels.
+func canceled(ctx context.Context, phase string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sim: %s canceled: %w", phase, err)
+	}
+	return nil
+}
+
 // Precondition replays src (typically trace.NewPreconditioner) without
 // recording latencies, and returns the virtual time at which the device
 // settled (all operations complete).
 func (r *Runner) Precondition(src trace.Source) (event.Time, error) {
 	var settled event.Time
+	var served uint64
 	for {
 		req, ok := src.Next()
 		if !ok {
@@ -293,6 +321,11 @@ func (r *Runner) Precondition(src trace.Source) (event.Time, error) {
 		}
 		if end > settled {
 			settled = end
+		}
+		if served++; served%cancelPollEvery == 0 {
+			if err := canceled(r.cfg.Ctx, "precondition"); err != nil {
+				return 0, err
+			}
 		}
 	}
 	return settled, nil

@@ -57,6 +57,12 @@ func NewSnapshot(cfg Config, spec trace.Spec) (*Snapshot, error) {
 	// covers exactly the replay — and tracing being observational, the
 	// replay itself is bit-identical either way.
 	cfg.Tracer = nil
+	// Deadlines never bound the master build either: the fill is shared
+	// by every run the snapshot will serve, so one caller's context must
+	// not cancel (or poison the cache entry for) everyone else's. A
+	// bounded run's deadline applies to its own replay, via the cfg it
+	// passes to NewRunner/Acquire.
+	cfg.Ctx = nil
 	r, err := NewRunner(cfg)
 	if err != nil {
 		return nil, err
@@ -115,9 +121,11 @@ func (s *Snapshot) compatible(cfg Config) error {
 	a.QueueDepth, b.QueueDepth = 0, 0
 	// Tracing is observational; a snapshot serves traced and untraced
 	// runs alike. The scheduler kind only changes replay mechanics, not
-	// results, so a snapshot serves both schedulers too.
+	// results, so a snapshot serves both schedulers too. A context only
+	// bounds wall-clock, never what a completed run computes.
 	a.Tracer, b.Tracer = nil, nil
 	a.Sched, b.Sched = 0, 0
+	a.Ctx, b.Ctx = nil, nil
 	an, bn := "", ""
 	if a.Options.Policy != nil {
 		an = a.Options.Policy.Name()

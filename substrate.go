@@ -222,14 +222,19 @@ const (
 	currentHistoryChange = "chunked copy-on-write re-seeding, batch-aware work stealing"
 )
 
-// simulatedEvents tallies the discrete operations the substrate
-// processed during the measured phase of a run.
-func simulatedEvents(r *Result) uint64 {
+// EventsOf tallies the discrete operations the substrate processed
+// during the measured phase of a run — the numerator of every
+// events/sec throughput figure (bench reports, batch aggregates, the
+// serving layer's /metrics).
+func EventsOf(r *Result) uint64 {
 	return r.Requests +
 		r.FTL.UserReadPages + r.FTL.UserWritePages + r.FTL.UserTrimPages +
 		r.FTL.GCReads + r.FTL.TotalPrograms() + r.FTL.BlocksErased +
 		r.FTL.HashOps
 }
+
+// simulatedEvents is the historical internal name of EventsOf.
+func simulatedEvents(r *Result) uint64 { return EventsOf(r) }
 
 // MeasureSubstrate times Run(w, s, policy, p) under the testing
 // package's benchmark driver and returns the substrate report: the

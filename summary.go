@@ -22,6 +22,12 @@ type LatencySummary struct {
 
 // Summary is the JSON-stable view of a Result.
 type Summary struct {
+	// ConfigKey is the canonical run identity (see ConfigKey): set when
+	// the producer knows the full run configuration (cagcsim -json, the
+	// serving layer's result documents), empty otherwise — a Result
+	// alone does not carry every identity field.
+	ConfigKey string `json:"config_key,omitempty"`
+
 	Scheme   string `json:"scheme"`
 	Workload string `json:"workload"`
 	Policy   string `json:"policy"`
@@ -120,4 +126,15 @@ func WriteJSON(w io.Writer, r *Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(Summarize(r))
+}
+
+// WriteJSONKey is WriteJSON with the canonical config key stamped into
+// the document, so CLI output and service cache entries for the same
+// configuration are cross-checkable (and byte-identical).
+func WriteJSONKey(w io.Writer, r *Result, key string) error {
+	s := Summarize(r)
+	s.ConfigKey = key
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }

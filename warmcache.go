@@ -2,8 +2,10 @@ package cagc
 
 // Warm-state snapshot cache. Every point of a sweep used to rebuild and
 // re-precondition an identical SSD; the cache builds each distinct warm
-// state once (sim.NewSnapshot) and serves every later run a deep clone
-// (sim.RunWarm). Results are bit-identical to cold runs — the clone
+// state once (sim.NewSnapshot) and serves every later run a clone via
+// the recycling free-list (sim.RunWarmRecycled), so steady-state
+// serving allocates no fresh clone per run beyond the worker count.
+// Results are bit-identical to cold runs — the clone
 // layer reproduces device, FTL, index, buffer, and timeline state
 // exactly — so figures never change, only wall-clock does.
 //
@@ -196,5 +198,9 @@ func runCached(cfg sim.Config, spec trace.Spec, p Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.RunWarm(snap, cfg, spec)
+	// Through the clone free-list (bit-identical to RunWarm): steady
+	// per-run allocation stays flat and clone residency stays bounded by
+	// the worker count — the access pattern a long-running service makes
+	// permanent.
+	return sim.RunWarmRecycled(snap, cfg, spec)
 }

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
+
+	"cagc/internal/sim"
 )
 
 func equivParams() Params {
@@ -251,5 +254,93 @@ func TestCacheCapacityShrink(t *testing.T) {
 	}
 	if st := WarmCacheStats(); st.Hits != hitsBefore+1 {
 		t.Fatalf("most recently used key should survive the shrink: %+v", st)
+	}
+}
+
+// The registry under service-shaped churn: concurrent runs spread over
+// more warm states than the registry holds, so snapshot builds, clone
+// acquire/release, and LRU eviction all race (run with -race). Every
+// result must still be byte-identical to its serial reference, and the
+// clone gauge must balance back to its pre-churn level — an eviction
+// must never strand or corrupt a clone another goroutine is replaying.
+func TestCacheConcurrentChurnWithEviction(t *testing.T) {
+	ResetWarmCache()
+	defer ResetWarmCache()
+	SetWarmCacheCapacity(2)
+	defer SetWarmCacheCapacity(defaultWarmCapacity)
+
+	utils := []float64{0.50, 0.55, 0.60, 0.65}
+	base := equivParams()
+	base.Requests = 1500
+
+	// Serial references, cold so they neither populate the registry nor
+	// touch the clone path.
+	refs := make([][]byte, len(utils))
+	for i, u := range utils {
+		p := base
+		p.Utilization = u
+		p.ColdStart = true
+		res, err := Run(Mail, CAGC, "greedy", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = buf.Bytes()
+	}
+
+	preLive := sim.CloneGaugeStats().Live
+
+	const goroutines = 8
+	const itersPer = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < itersPer; i++ {
+				// Stride so neighbours churn different states at once.
+				idx := (g + i) % len(utils)
+				p := base
+				p.Utilization = utils[idx]
+				res, err := Run(Mail, CAGC, "greedy", p)
+				if err != nil {
+					errc <- err
+					return
+				}
+				var buf bytes.Buffer
+				if err := WriteJSON(&buf, res); err != nil {
+					errc <- err
+					return
+				}
+				if !bytes.Equal(buf.Bytes(), refs[idx]) {
+					errc <- fmt.Errorf("goroutine %d iter %d (util %g): result diverged from serial reference", g, i, utils[idx])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	st := WarmCacheStats()
+	if got := st.Hits + st.Misses; got != goroutines*itersPer {
+		t.Fatalf("cache lookups %d, want %d: %+v", got, goroutines*itersPer, st)
+	}
+	// Four states over a two-slot registry must have churned.
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions despite working set exceeding capacity: %+v", st)
+	}
+	if st.Snapshots > 2 {
+		t.Fatalf("registry over capacity: %+v", st)
+	}
+	if live := sim.CloneGaugeStats().Live; live != preLive {
+		t.Fatalf("clone gauge leaked under churn: live %d, want %d", live, preLive)
 	}
 }
