@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -76,6 +77,17 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		stagger   = fs.Bool("stagger", false, "stagger array member GC watermarks (-array)")
 		steer     = fs.Bool("steer", false, "GC-aware read steering (-array raid1)")
 
+		replayPath = fs.String("replay", "", "replay a trace file (binary CAGC container, text, FIU IODedup text, or gzip of any) instead of a synthetic preset; -workload selects the preconditioning mixture")
+		replayFmt  = fs.String("replay-format", "auto", "trace format for -replay and file tenants: auto, binary, text, or fiu")
+		timeScale  = fs.Float64("time-scale", 0, "compress (<1) or stretch (>1) FIU inter-arrival gaps (0 = 1.0; FIU traces span weeks)")
+		chunk      = fs.Int("chunk", 0, "decode-ahead chunk size in requests (0 = default 256)")
+		syncDecode = fs.Bool("sync-decode", false, "decode on the simulator goroutine instead of the background reader (byte-identical; for comparison)")
+
+		tenants    = fs.String("tenants", "", "multi-tenant scenario: comma-separated workload names or trace paths, each optionally '*rate' (e.g. Homes,Web-vm,Mail*2); tenants share the device in disjoint namespaces")
+		diurnalMs  = fs.Float64("diurnal-period-ms", 0, "diurnal burst-envelope period over the merged tenant stream, in ms of simulated time (0 = off)")
+		diurnalAmp = fs.Float64("diurnal-amp", 0, "diurnal burst amplitude in [0,1): arrival rate swings 1 +/- this")
+		sloUs      = fs.Float64("slo-us", 0, "per-tenant response-time SLO in microseconds; violations are counted per tenant (0 = off)")
+
 		bench    = fs.Bool("bench", false, "measure substrate throughput (events/sec, ns/op, allocs/op) instead of printing a report")
 		benchOut = fs.String("benchout", "BENCH_substrate.json", "file the -bench report is written to ('' = stdout only)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -123,13 +135,26 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	}
 
 	modes := 0
-	for _, on := range []bool{*bench, *batch > 0, *fleetN > 0, *arrayMode != ""} {
+	for _, on := range []bool{*bench, *batch > 0, *fleetN > 0, *arrayMode != "", *replayPath != "", *tenants != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-bench, -batch, -fleet, and -array are mutually exclusive modes")
+		return fmt.Errorf("-bench, -batch, -fleet, -array, -replay, and -tenants are mutually exclusive modes")
+	}
+	if _, err := cagc.ParseTraceFormat(*replayFmt); err != nil {
+		return err
+	}
+	if *diurnalAmp < 0 || *diurnalAmp >= 1 {
+		return fmt.Errorf("-diurnal-amp %g: amplitude must be in [0, 1)", *diurnalAmp)
+	}
+	if *chunk < 0 {
+		return fmt.Errorf("-chunk %d: chunk size cannot be negative (0 = default)", *chunk)
+	}
+	tenantSpecs, err := parseTenants(*tenants, *replayFmt, *timeScale)
+	if err != nil {
+		return err
 	}
 
 	tracing := *traceOut != "" || *traceSum || *traceLast > 0
@@ -273,6 +298,60 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		return nil
 	}
 
+	if *replayPath != "" {
+		var stats cagc.TraceStreamStats
+		res, err := cagc.ReplayFile(*replayPath, w, s, *policy, p, cagc.ReplayFileOptions{
+			Format:        *replayFmt,
+			TimeScale:     *timeScale,
+			ChunkRequests: *chunk,
+			SyncDecode:    *syncDecode,
+			Stats:         &stats,
+		})
+		if err != nil {
+			return err
+		}
+		reportCache(stderr)
+		// Ingestion counters are wall-clock facts: stderr, so stdout
+		// stays byte-identical across chunk sizes and decode modes.
+		fmt.Fprintf(stderr, "cagcsim: ingest: %d requests in %d chunks, %d stalls (ratio %.3f), peak reader %d bytes\n",
+			stats.Requests, stats.Chunks, stats.Stalls, stats.StallRatio(), stats.PeakLiveBytes)
+		if err := exportTrace(stderr, rec, *traceOut, *traceSum,
+			fmt.Sprintf("replay %s x %s x %s", *replayPath, s, *policy)); err != nil {
+			return err
+		}
+		if *asJSON {
+			// File replays have no canonical config key (the identity
+			// would have to hash the file); the document simply omits it.
+			return cagc.WriteJSON(stdout, res)
+		}
+		cagc.FprintResult(stdout, res)
+		return nil
+	}
+
+	if len(tenantSpecs) > 0 {
+		res, err := cagc.RunScenario(s, *policy, p, cagc.ScenarioParams{
+			Tenants:       tenantSpecs,
+			DiurnalPeriod: cagc.Time(*diurnalMs * float64(cagc.Millisecond)),
+			DiurnalAmp:    *diurnalAmp,
+			SLOUs:         *sloUs,
+			ChunkRequests: *chunk,
+			SyncDecode:    *syncDecode,
+		})
+		if err != nil {
+			return err
+		}
+		reportCache(stderr)
+		if err := exportTrace(stderr, rec, *traceOut, *traceSum,
+			fmt.Sprintf("%s x %s x %s", cagc.ScenarioLabel(tenantSpecs), s, *policy)); err != nil {
+			return err
+		}
+		if *asJSON {
+			return cagc.WriteJSON(stdout, res)
+		}
+		cagc.FprintResult(stdout, res)
+		return nil
+	}
+
 	res, err := cagc.Run(w, s, *policy, p)
 	if err != nil {
 		return err
@@ -347,6 +426,41 @@ func reportCache(stderr io.Writer) {
 	}
 	fmt.Fprintf(stderr, "cagcsim: warm-state cache: %d hits, %d misses, %d evictions, %d/%d snapshots\n",
 		st.Hits, st.Misses, st.Evictions, st.Snapshots, st.Capacity)
+}
+
+// parseTenants splits the -tenants flag: comma-separated entries, each
+// a workload preset name or a trace file path, optionally suffixed
+// "*rate" (e.g. "Mail*2" issues twice as fast). File tenants inherit
+// the -replay-format and -time-scale flags.
+func parseTenants(arg, format string, timeScale float64) ([]cagc.TenantSpec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var specs []cagc.TenantSpec
+	for _, entry := range strings.Split(arg, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return nil, fmt.Errorf("-tenants: empty tenant entry")
+		}
+		var rate float64
+		if i := strings.LastIndexByte(entry, '*'); i >= 0 {
+			r, err := strconv.ParseFloat(entry[i+1:], 64)
+			if err != nil || r <= 0 {
+				return nil, fmt.Errorf("-tenants: bad rate in %q", entry)
+			}
+			rate, entry = r, entry[:i]
+		}
+		t := cagc.TenantSpec{Rate: rate}
+		if w, err := findWorkload(entry); err == nil {
+			t.Workload = w
+		} else {
+			t.Path = entry
+			t.Format = format
+			t.TimeScale = timeScale
+		}
+		specs = append(specs, t)
+	}
+	return specs, nil
 }
 
 func findWorkload(name string) (cagc.Workload, error) {

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runOK(t *testing.T, args ...string) (stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String(), errb.String()
+}
+
+// The full pipeline the CI smoke exercises: gen → convert (text, gz) →
+// stats, with every leg decoding to the same request count.
+func TestGenConvertStatsPipeline(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "mail.ctr")
+	_, genErr := runOK(t, "gen", "-workload", "Mail", "-requests", "2000",
+		"-device", "16777216", "-o", bin)
+	if !strings.Contains(genErr, "generated 2000 Mail requests") {
+		t.Fatalf("gen report: %q", genErr)
+	}
+
+	text := filepath.Join(dir, "mail.txt")
+	_, convErr := runOK(t, "convert", "-i", bin, "-text", "-o", text)
+	if !strings.Contains(convErr, "converted 2000 requests") {
+		t.Fatalf("convert report: %q", convErr)
+	}
+
+	gz := filepath.Join(dir, "mail.ctr.gz")
+	runOK(t, "convert", "-i", text, "-o", gz)
+	bi, err := os.Stat(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := os.Stat(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Size() >= bi.Size() {
+		t.Errorf("gzip output not smaller: %d vs %d", gi.Size(), bi.Size())
+	}
+
+	// The gz round trip decodes back to identical bytes as a re-encode
+	// of the original binary.
+	roundA := filepath.Join(dir, "a.ctr")
+	roundB := filepath.Join(dir, "b.ctr")
+	runOK(t, "convert", "-i", bin, "-o", roundA)
+	runOK(t, "convert", "-i", gz, "-o", roundB)
+	a, _ := os.ReadFile(roundA)
+	b, _ := os.ReadFile(roundB)
+	if !bytes.Equal(a, b) {
+		t.Fatal("binary→gz→binary round trip not byte-identical")
+	}
+
+	for _, in := range []string{bin, text, gz} {
+		stats, _ := runOK(t, "stats", "-i", in)
+		if !strings.Contains(stats, "reqs=2000") {
+			t.Errorf("stats(%s) missing request count:\n%s", in, stats)
+		}
+		if !strings.Contains(stats, "invalidations by refcount") {
+			t.Errorf("stats(%s) missing refcount analysis:\n%s", in, stats)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(garbage, []byte("?? ??\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(dir, "trunc.ctr")
+	bin := filepath.Join(dir, "ok.ctr")
+	runOK(t, "gen", "-requests", "500", "-o", bin)
+	data, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncated, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"gen", "-workload", "nope"},
+		{"gen", "-requests", "10", "-o", filepath.Join(dir, "no", "such", "dir", "x")},
+		{"convert"},
+		{"convert", "-i", filepath.Join(dir, "missing")},
+		{"convert", "-i", garbage},
+		{"convert", "-i", truncated, "-o", filepath.Join(dir, "out.ctr")},
+		{"convert", "-i", bin, "-format", "csv"},
+		{"stats"},
+		{"stats", "-i", filepath.Join(dir, "missing")},
+		{"stats", "-i", truncated},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v): no error", args)
+		}
+	}
+}

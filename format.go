@@ -164,4 +164,14 @@ func FprintResult(w io.Writer, r *Result) {
 		fmt.Fprintf(w, "invalidated by refcount  1: %.1f%%  2: %.1f%%  3: %.1f%%  >3: %.1f%%\n",
 			sh[0]*100, sh[1]*100, sh[2]*100, sh[3]*100)
 	}
+	for i := range r.Tenants {
+		t := &r.Tenants[i]
+		fmt.Fprintf(w, "tenant %-12s reqs %-7d p50 %v  p99 %v  p99.9 %v",
+			t.Name, t.Requests,
+			t.Latency.Percentile(0.50), t.Latency.Percentile(0.99), t.Latency.Percentile(0.999))
+		if t.SLO > 0 {
+			fmt.Fprintf(w, "  SLO %v violated %d", t.SLO, t.Violations)
+		}
+		fmt.Fprintln(w)
+	}
 }

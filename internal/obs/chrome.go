@@ -43,6 +43,8 @@ func trackName(t Track) string {
 		return "fleet"
 	case TrackServe:
 		return "serve"
+	case TrackIngest:
+		return "ingest"
 	}
 	if die, ok := IsDieTrack(t); ok {
 		return fmt.Sprintf("die %d", die)

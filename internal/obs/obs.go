@@ -57,6 +57,13 @@ const (
 	// instants. Like TrackFleet, times are harness wall-clock — the
 	// service runs simulations, it is not inside one.
 	TrackServe Track = 7
+	// TrackIngest carries trace-ingestion telemetry from the streaming
+	// replay pipeline: one span per decoded chunk and an instant per
+	// ring stall (the simulator wanting a chunk the decoder had not
+	// produced yet). Like TrackFleet/TrackServe, times are harness
+	// wall-clock — the decoder works in real time around the
+	// simulation, not inside it.
+	TrackIngest Track = 8
 
 	trackDieBase  Track = 100
 	trackHashBase Track = 10000
@@ -153,6 +160,10 @@ const (
 	KServeCacheHit // instant: a submission answered from the result cache (arg = job sequence)
 	KServeReject   // instant: a submission refused by admission control (arg = queue depth)
 
+	// Trace ingestion (TrackIngest; wall-clock times).
+	KIngestChunk // span: one chunk decoded by the background reader (arg = requests in chunk)
+	KIngestStall // instant: the consumer found the ring empty (arg = ring occupancy)
+
 	numKinds
 )
 
@@ -214,6 +225,10 @@ var kindTable = [numKinds]kindInfo{
 	KServeJob:      {name: "serve.job", ph: 'X', detached: true},
 	KServeCacheHit: {name: "serve.cache_hit", ph: 'i', detached: true},
 	KServeReject:   {name: "serve.reject", ph: 'i', detached: true},
+	// Ingestion events are harness work around the simulation (the
+	// decode goroutine), never nested inside any request scope.
+	KIngestChunk: {name: "ingest.chunk", ph: 'X', detached: true},
+	KIngestStall: {name: "ingest.stall", ph: 'i', detached: true},
 }
 
 // Name returns the kind's fixed event name.

@@ -80,6 +80,12 @@ func (st *replayState) fill() {
 		req, ok := st.src.Next()
 		if !ok {
 			st.eof = true
+			// Distinguish a clean end of trace from a decode failure:
+			// ignoring the reader's error here would silently replay a
+			// truncated trace as if it were the whole workload.
+			if err := trace.SourceErr(st.src); err != nil {
+				st.fail(fmt.Errorf("sim: replay: %w", err))
+			}
 			return
 		}
 		req.At += st.offset
@@ -145,6 +151,9 @@ func (st *replayState) onRelease(now event.Time, arg uint64) {
 	}
 	req, ok := st.src.Next()
 	if !ok {
+		if err := trace.SourceErr(st.src); err != nil {
+			st.fail(fmt.Errorf("sim: replay: %w", err))
+		}
 		return // trace exhausted; the token dies and the queue drains
 	}
 	req.At = event.Time(arg)
@@ -193,6 +202,20 @@ func (st *replayState) record(req trace.Request, done event.Time) {
 	case trace.OpWrite:
 		res.WriteLatency.Record(lat)
 	}
+	// Tenant attribution by first logical page. The range count is the
+	// scenario's tenant count (single digits), so a linear scan beats
+	// any index.
+	for i := range res.Tenants {
+		t := &res.Tenants[i]
+		if lpn := req.LPN; lpn >= t.Base && lpn-t.Base < t.Pages {
+			t.Requests++
+			t.Latency.Record(lat)
+			if t.SLO > 0 && lat > t.SLO {
+				t.Violations++
+			}
+			break
+		}
+	}
 	res.Requests++
 	if st.tron && res.Requests%schedSampleEvery == 0 {
 		st.r.tr.Counter(obs.TrackSched, obs.KSchedDepth, req.At, uint64(st.r.es.Pending()))
@@ -223,6 +246,12 @@ func (r *Runner) Replay(src trace.Source, offset event.Time, workload string) (*
 		Scheme:   r.cfg.Options.SchemeName(),
 		Workload: workload,
 		Policy:   r.cfg.Options.Policy.Name(),
+	}
+	if len(r.tenants) > 0 {
+		res.Tenants = make([]TenantResult, len(r.tenants))
+		for i, t := range r.tenants {
+			res.Tenants[i] = TenantResult{Name: t.Name, Base: t.Base, Pages: t.Pages, SLO: t.SLO}
+		}
 	}
 	statsBefore := r.f.Stats()
 	refBefore := r.f.RefDist.Counts()

@@ -132,6 +132,27 @@ type Result struct {
 	EraseSpread  int
 	FreeFraction float64
 	Regions      ftl.RegionStats
+
+	// Tenants holds per-tenant latency attribution when the runner was
+	// given tenant ranges (SetTenants); nil otherwise. Order follows
+	// the configured ranges.
+	Tenants []TenantResult
+}
+
+// TenantResult is one tenant's share of a multi-tenant replay:
+// requests whose first logical page fell in the tenant's namespace,
+// with their own response-time distribution and SLO accounting.
+type TenantResult struct {
+	Name string
+	// Base/Pages echo the tenant's namespace (the attribution range).
+	Base     uint64
+	Pages    uint64
+	SLO      event.Time // 0 when the tenant has no latency objective
+	Requests uint64
+	// Violations counts requests whose response time exceeded SLO
+	// (always 0 when SLO is 0).
+	Violations uint64
+	Latency    metrics.Histogram
 }
 
 // MeanLatency returns the mean response time in microseconds.
@@ -176,6 +197,10 @@ type Runner struct {
 	buf *buffer.WriteBuffer // nil unless BufferPages > 0
 	tr  obs.Tracer          // never nil; obs.Nop when tracing is off
 	es  *event.Sim          // drives arrival/issue events during Replay
+	// tenants, when non-empty, makes Replay attribute each request to
+	// the range containing its first logical page (see SetTenants).
+	// Kept off Config so Config stays comparable for snapshot identity.
+	tenants []trace.TenantRange
 }
 
 // LogicalPagesOf returns the logical address-space size a runner built
@@ -220,6 +245,16 @@ func (r *Runner) SetTracer(tr obs.Tracer) {
 	if r.buf != nil {
 		r.buf.SetTracer(tr)
 	}
+}
+
+// SetTenants installs per-tenant attribution ranges for the next
+// Replay: each measured request is credited to the first range
+// containing its first logical page, producing Result.Tenants. Nil (the
+// default) disables attribution. Tenant ranges are replay bookkeeping,
+// not build state — they are deliberately not part of Config, so any
+// warm snapshot with a compatible config can serve a tenant scenario.
+func (r *Runner) SetTenants(ranges []trace.TenantRange) {
+	r.tenants = ranges
 }
 
 // Buffer returns the interposed write buffer, or nil.
@@ -327,6 +362,11 @@ func (r *Runner) Precondition(src trace.Source) (event.Time, error) {
 				return 0, err
 			}
 		}
+	}
+	// A decode failure must fail the fill, not shorten it: a partially
+	// preconditioned device would silently skew every measurement.
+	if err := trace.SourceErr(src); err != nil {
+		return 0, fmt.Errorf("sim: precondition: %w", err)
 	}
 	return settled, nil
 }

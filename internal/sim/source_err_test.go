@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cagc/internal/ftl"
+	"cagc/internal/trace"
+)
+
+// A decode failure must fail the run, never act as a shorter workload —
+// at every point the simulator consumes a trace source.
+
+func corruptSource() trace.Source {
+	return trace.NewTextReader(strings.NewReader(
+		"10 R 1 1\n20 R 2 1\nnot a trace line\n30 R 3 1\n"))
+}
+
+func TestPreconditionFailsOnCorruptSource(t *testing.T) {
+	r, err := NewRunner(smallConfig(ftl.CAGCOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Precondition(corruptSource()); err == nil {
+		t.Fatal("corrupt precondition source accepted")
+	}
+}
+
+func TestReplayFailsOnCorruptSource(t *testing.T) {
+	r, err := NewRunner(smallConfig(ftl.CAGCOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Replay(corruptSource(), 0, "corrupt"); err == nil {
+		t.Fatal("corrupt replay source accepted")
+	}
+}
+
+// Tenant attribution: SetTenants splits the result by address range,
+// with violation counting against each range's SLO, and the split is
+// exhaustive over the replayed requests.
+func TestReplayTenantAttribution(t *testing.T) {
+	cfg := smallConfig(ftl.CAGCOptions())
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := LogicalPagesOf(cfg)
+	half := logical / 2
+	spec := specFor(t, cfg, trace.Mail, 2000)
+	pre, err := trace.NewPreconditioner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset, err := r.Precondition(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetTenants([]trace.TenantRange{
+		{Name: "low", Base: 0, Pages: half, SLO: 1}, // 1 ns: everything violates
+		{Name: "high", Base: half, Pages: logical - half},
+	})
+	gen, err := trace.NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Replay(gen, offset, "tenanted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("tenants: %+v", res.Tenants)
+	}
+	low, high := res.Tenants[0], res.Tenants[1]
+	if low.Requests+high.Requests != res.Requests {
+		t.Fatalf("attribution not exhaustive: %d + %d != %d",
+			low.Requests, high.Requests, res.Requests)
+	}
+	if low.Requests == 0 || high.Requests == 0 {
+		t.Fatalf("degenerate split: %d / %d", low.Requests, high.Requests)
+	}
+	// With a 1 ns SLO every attributed request violates; with no SLO
+	// none do.
+	if low.Violations != low.Requests {
+		t.Fatalf("low violations %d of %d requests under 1ns SLO", low.Violations, low.Requests)
+	}
+	if high.Violations != 0 {
+		t.Fatalf("high tenant counted %d violations with no SLO", high.Violations)
+	}
+	if low.Latency.Count() != low.Requests {
+		t.Fatalf("low histogram %d != %d", low.Latency.Count(), low.Requests)
+	}
+}
+
+// Without SetTenants the result must stay tenant-free (and therefore
+// byte-identical to pre-scenario results).
+func TestReplayNoTenantsByDefault(t *testing.T) {
+	cfg := smallConfig(ftl.CAGCOptions())
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specFor(t, cfg, trace.Mail, 500)
+	pre, err := trace.NewPreconditioner(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offset, err := r.Precondition(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _ := trace.NewGenerator(spec)
+	res, err := r.Replay(gen, offset, "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tenants != nil {
+		t.Fatalf("plain replay grew tenant results: %+v", res.Tenants)
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cagc/internal/dedup"
+)
+
+// Binary decoder error paths beyond the basic bad-magic/truncation
+// cases in trace_test.go: every malformed byte sequence must surface a
+// decode error, never a silently shortened or garbage stream.
+
+// record appends raw record bytes after the container magic.
+func recordBytes(body ...byte) []byte {
+	return append(append([]byte{}, magic[:]...), body...)
+}
+
+func decodeAll(t *testing.T, data []byte) ([]Request, error) {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("header rejected: %v", err)
+	}
+	got := Collect(r)
+	return got, r.Err()
+}
+
+func TestBinaryUnknownOp(t *testing.T) {
+	// delta=0, op=7 (beyond OpTrim).
+	got, err := decodeAll(t, recordBytes(0x00, 0x07, 0x01, 0x01))
+	if len(got) != 0 || err == nil {
+		t.Fatalf("unknown op: got %d requests, err %v", len(got), err)
+	}
+	if !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBinaryImplausiblePages(t *testing.T) {
+	// delta=0, op=OpRead, lpn=1, pages=0.
+	if _, err := decodeAll(t, recordBytes(0x00, byte(OpRead), 0x01, 0x00)); err == nil ||
+		!strings.Contains(err.Error(), "implausible page count") {
+		t.Fatalf("pages=0: err = %v", err)
+	}
+	// pages = 2^21 (uvarint 0x80 0x80 0x80 0x01), over the 2^20 cap.
+	if _, err := decodeAll(t, recordBytes(0x00, byte(OpRead), 0x01, 0x80, 0x80, 0x80, 0x01)); err == nil ||
+		!strings.Contains(err.Error(), "implausible page count") {
+		t.Fatalf("pages=2^21: err = %v", err)
+	}
+}
+
+func TestBinaryOverflowingVarint(t *testing.T) {
+	// An 11-byte all-continuation varint at the delta position overflows
+	// uint64; that is a decode error, not a clean EOF.
+	over := bytes.Repeat([]byte{0xff}, 11)
+	if _, err := decodeAll(t, recordBytes(over...)); err == nil {
+		t.Fatal("overflowing varint accepted")
+	}
+}
+
+func TestBinaryPartialVarint(t *testing.T) {
+	// A lone continuation byte at the delta position: the stream ends
+	// mid-varint. Unlike EOF at a record boundary, this must error.
+	if _, err := decodeAll(t, recordBytes(0x80)); err == nil {
+		t.Fatal("partial varint at record start treated as clean end")
+	}
+	// Same mid-record: delta fine, op fine, lpn cut.
+	if _, err := decodeAll(t, recordBytes(0x00, byte(OpRead), 0x80)); err == nil {
+		t.Fatal("partial lpn varint accepted")
+	}
+}
+
+func TestBinaryTruncatedFingerprints(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Request{At: 1, Op: OpWrite, LPN: 3, Pages: 2,
+		FPs: []dedup.Fingerprint{9, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop both 1-byte fingerprints off the end.
+	got, err := decodeAll(t, full[:len(full)-2])
+	if len(got) != 0 || err == nil || !strings.Contains(err.Error(), "truncated fingerprints") {
+		t.Fatalf("got %d requests, err %v", len(got), err)
+	}
+}
+
+func TestBinaryErrorStopsStream(t *testing.T) {
+	// A valid record followed by a corrupt one: the reader yields the
+	// good record, then fails and stays failed.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(Request{At: 1, Op: OpRead, LPN: 1, Pages: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := append(buf.Bytes(), 0x00, 0x07) // unknown op follows
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); !ok {
+		t.Fatal("good record rejected")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("corrupt record decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("corruption not reported")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("reader resumed after error")
+	}
+}
+
+// Property: the decoder survives arbitrary garbage after a valid header
+// without panicking — it either decodes valid requests or reports an
+// error, and every decoded request validates.
+func TestBinaryGarbageNeverPanics(t *testing.T) {
+	seeds := [][]byte{
+		{},
+		{0x00},
+		{0xff, 0xff, 0xff},
+		{0x00, 0x01, 0x00, 0x02, 0x01},
+		bytes.Repeat([]byte{0xab}, 64),
+	}
+	for i, body := range seeds {
+		got, _ := decodeAll(t, recordBytes(body...))
+		for _, r := range got {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("seed %d: decoder emitted invalid request %+v: %v", i, r, err)
+			}
+		}
+	}
+}

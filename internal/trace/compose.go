@@ -32,10 +32,12 @@ func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h
 
 // Merger interleaves several request streams by arrival time. Each
 // source must itself be time-ordered (all generators and readers are).
-// It implements Source.
+// It implements ErrSource: a decode failure in any input ends the
+// merged stream immediately and surfaces through Err.
 type Merger struct {
 	h    mergeHeap
 	srcs []Source
+	err  error
 }
 
 // Merge builds a k-way time-ordered merge of the sources. Sources with
@@ -46,6 +48,8 @@ func Merge(sources ...Source) *Merger {
 	for i, s := range sources {
 		if r, ok := s.Next(); ok {
 			m.h = append(m.h, mergeItem{req: r, src: i})
+		} else if err := SourceErr(s); err != nil && m.err == nil {
+			m.err = err
 		}
 	}
 	heap.Init(&m.h)
@@ -54,15 +58,23 @@ func Merge(sources ...Source) *Merger {
 
 // Next implements Source.
 func (m *Merger) Next() (Request, bool) {
-	if len(m.h) == 0 {
+	if m.err != nil || len(m.h) == 0 {
 		return Request{}, false
 	}
 	it := heap.Pop(&m.h).(mergeItem)
 	if r, ok := m.srcs[it.src].Next(); ok {
 		heap.Push(&m.h, mergeItem{req: r, src: it.src})
+	} else if err := SourceErr(m.srcs[it.src]); err != nil {
+		// Fail the whole merge rather than silently dropping one
+		// tenant's tail while the others play on.
+		m.err = err
+		return Request{}, false
 	}
 	return it.req, true
 }
+
+// Err implements ErrSource.
+func (m *Merger) Err() error { return m.err }
 
 // Offset shifts every request's logical address by base — the tool for
 // giving merged tenants disjoint address ranges. It implements Source.
@@ -80,6 +92,9 @@ func (o *Offset) Next() (Request, bool) {
 	r.LPN += o.Base
 	return r, true
 }
+
+// Err implements ErrSource by delegating to the wrapped source.
+func (o *Offset) Err() error { return SourceErr(o.Src) }
 
 // TimeScale stretches (>1) or compresses (<1) inter-arrival gaps of a
 // stream, preserving order. It implements Source.
@@ -108,3 +123,6 @@ func (t *TimeScale) Next() (Request, bool) {
 	r.At = t.base + event.Time(float64(r.At-t.base)*f)
 	return r, true
 }
+
+// Err implements ErrSource by delegating to the wrapped source.
+func (t *TimeScale) Err() error { return SourceErr(t.Src) }

@@ -114,7 +114,7 @@ func (fr *FIUReader) parse(line string) (Request, error) {
 		if len(f) < 9 {
 			return Request{}, fmt.Errorf("write without content hash")
 		}
-		fp, err := foldMD5(f[8])
+		fp, err := FoldMD5(f[8])
 		if err != nil {
 			return Request{}, err
 		}
@@ -129,8 +129,9 @@ func (fr *FIUReader) parse(line string) (Request, error) {
 	return r, nil
 }
 
-// foldMD5 folds a hex MD5 digest into the 64-bit fingerprint space.
-func foldMD5(h string) (dedup.Fingerprint, error) {
+// FoldMD5 folds a hex MD5 digest into the 64-bit fingerprint space —
+// the content-identity mapping the FIU import uses for every write.
+func FoldMD5(h string) (dedup.Fingerprint, error) {
 	if len(h) < 16 {
 		return 0, fmt.Errorf("content hash %q too short", h)
 	}

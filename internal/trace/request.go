@@ -79,6 +79,30 @@ type Source interface {
 	Next() (Request, bool)
 }
 
+// ErrSource is the extension interface for sources that can fail
+// mid-stream (file readers, decoders, and anything wrapping them).
+// After Next returns ok=false, Err distinguishes a clean end (nil)
+// from a decode failure; consumers that ignore it silently truncate
+// corrupt traces, which is exactly the bug this interface exists to
+// prevent.
+type ErrSource interface {
+	Source
+	// Err reports the terminal error after the stream ends, or nil if
+	// the stream ended cleanly. Before end of stream its value is
+	// unspecified.
+	Err() error
+}
+
+// SourceErr returns src's terminal error if it is an ErrSource, nil
+// otherwise. Call it whenever Next returns ok=false on a source of
+// unknown concrete type.
+func SourceErr(src Source) error {
+	if es, ok := src.(ErrSource); ok {
+		return es.Err()
+	}
+	return nil
+}
+
 // SliceSource replays a fixed request slice; used by tests and by the
 // worked-example scenarios.
 type SliceSource struct {

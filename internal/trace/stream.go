@@ -1,0 +1,288 @@
+package trace
+
+// Decode-ahead streaming ingestion. Replaying a file-backed trace used
+// to pull requests synchronously through Source.Next(), so file I/O and
+// line/varint parsing serialized with the simulator's hot loop. Stream
+// moves read+decode onto a background goroutine that hands fixed-size
+// request chunks to the consumer over a small bounded ring: parsing
+// overlaps simulation, and reader-side live memory stays O(chunk ×
+// depth) — a fixed budget — instead of O(trace).
+//
+// The contract is byte-identity: a Stream yields exactly the requests
+// of its underlying source, in order, at any chunk size, with
+// decode-ahead enabled or disabled; only wall-clock and memory change.
+// Decode errors are carried across the goroutine boundary and surface
+// through Err after the stream ends, never as silent truncation.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cagc/internal/event"
+	"cagc/internal/obs"
+)
+
+// Streaming defaults: chunks of 256 requests, 4 chunks decoded ahead.
+// With the two buffers held by producer and consumer the live set is
+// (Depth+2) × ChunkRequests requests — a few hundred KiB on the paper's
+// workloads, independent of trace length.
+const (
+	DefaultChunkRequests = 256
+	DefaultChunkDepth    = 4
+)
+
+// requestFootprint approximates the in-memory bytes of one Request
+// struct (header only; fingerprint payloads are accounted per-slice).
+const requestFootprint = 56
+
+// StreamOptions tunes a Stream. The zero value gives the defaults.
+type StreamOptions struct {
+	// ChunkRequests is the number of requests per handoff chunk
+	// (default DefaultChunkRequests).
+	ChunkRequests int
+	// Depth is how many decoded chunks the background goroutine may
+	// buffer ahead of the consumer (default DefaultChunkDepth).
+	Depth int
+	// Sync disables decode-ahead: requests are decoded on the
+	// consumer's goroutine, one Next at a time — the reference mode
+	// byte-identity is checked against, and the baseline the
+	// replay_stream benchmark compares decode-ahead to.
+	Sync bool
+	// Tracer, when non-nil, receives ingest telemetry on the "ingest"
+	// track: one span per decoded chunk and an instant per ring stall
+	// (the consumer wanting a chunk the decoder had not produced yet).
+	// Times are wall-clock relative to the stream's construction — the
+	// decoder works in real time around the simulation, not inside it.
+	Tracer obs.Tracer
+}
+
+// StreamStats reports a stream's ingestion behaviour. Counters are
+// harness-side facts (wall-clock ordering dependent); they never enter
+// deterministic results.
+type StreamStats struct {
+	Requests uint64 // requests handed to the consumer
+	Chunks   uint64 // chunks decoded
+	// Stalls counts chunk handoffs where the consumer found the ring
+	// empty and had to wait for the decoder — the measure of how often
+	// decode failed to stay ahead of simulation.
+	Stalls uint64
+	// LiveBytes and PeakLiveBytes account the reader-side resident
+	// set: request headers plus fingerprint payloads of every chunk
+	// decoded but not yet consumed. Peak is the bounded-memory
+	// guarantee: it depends on chunk size and depth, never on trace
+	// length.
+	LiveBytes     int64
+	PeakLiveBytes int64
+}
+
+// StallRatio returns the fraction of chunk handoffs that stalled.
+func (s StreamStats) StallRatio() float64 {
+	if s.Chunks == 0 {
+		return 0
+	}
+	return float64(s.Stalls) / float64(s.Chunks)
+}
+
+// Stream adapts a Source into a decode-ahead source. It implements
+// ErrSource; it is not safe for concurrent Next calls (sources never
+// are), but the decode goroutine runs concurrently with the consumer.
+type Stream struct {
+	src      Source
+	sync     bool
+	chunkCap int
+	tr       obs.Tracer
+	t0       time.Time
+
+	out  chan []Request
+	free chan []Request
+	quit chan struct{}
+
+	cur    []Request
+	pos    int
+	closed bool
+	err    error // surfaced via Err after the stream ends
+
+	// decErr is written by the producer before it closes out; the
+	// channel close orders it before the consumer's read.
+	decErr error
+
+	requests  uint64
+	chunks    atomic.Uint64
+	stalls    uint64
+	liveBytes atomic.Int64
+	peakBytes atomic.Int64
+}
+
+// NewStream wraps src. In the default (decode-ahead) mode a background
+// goroutine starts decoding immediately; call Close to release it if
+// the stream is abandoned before Next returns false.
+func NewStream(src Source, opts StreamOptions) *Stream {
+	if opts.ChunkRequests <= 0 {
+		opts.ChunkRequests = DefaultChunkRequests
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = DefaultChunkDepth
+	}
+	s := &Stream{
+		src:      src,
+		sync:     opts.Sync,
+		chunkCap: opts.ChunkRequests,
+		tr:       obs.Or(opts.Tracer),
+		t0:       time.Now(),
+	}
+	if !s.sync {
+		s.out = make(chan []Request, opts.Depth)
+		// Producer holds one buffer and the consumer one more, so the
+		// free list is sized to make every return non-blocking.
+		s.free = make(chan []Request, opts.Depth+2)
+		for i := 0; i < opts.Depth+2; i++ {
+			s.free <- make([]Request, 0, s.chunkCap)
+		}
+		s.quit = make(chan struct{})
+		go s.produce()
+	}
+	return s
+}
+
+// wall returns the wall-clock offset since construction, the time base
+// of the ingest track (mirroring the fleet and serve tracks).
+func (s *Stream) wall() event.Time { return event.Time(time.Since(s.t0)) }
+
+// chunkBytes approximates the live footprint of one decoded chunk.
+func chunkBytes(reqs []Request) int64 {
+	n := int64(cap(reqs)) * requestFootprint
+	for i := range reqs {
+		n += int64(len(reqs[i].FPs)) * 8
+	}
+	return n
+}
+
+// produce decodes chunks ahead of the consumer until the source ends,
+// a decode error occurs, or the stream is closed.
+func (s *Stream) produce() {
+	defer close(s.out)
+	for {
+		var buf []Request
+		select {
+		case buf = <-s.free:
+		case <-s.quit:
+			return
+		}
+		buf = buf[:0]
+		start := s.wall()
+		for len(buf) < s.chunkCap {
+			r, ok := s.src.Next()
+			if !ok {
+				s.decErr = SourceErr(s.src)
+				if len(buf) > 0 {
+					s.finishChunk(buf, start)
+					select {
+					case s.out <- buf:
+					case <-s.quit:
+					}
+				}
+				return
+			}
+			buf = append(buf, r)
+		}
+		s.finishChunk(buf, start)
+		select {
+		case s.out <- buf:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// finishChunk accounts one decoded chunk and records its ingest span.
+func (s *Stream) finishChunk(buf []Request, start event.Time) {
+	s.chunks.Add(1)
+	live := s.liveBytes.Add(chunkBytes(buf))
+	for {
+		peak := s.peakBytes.Load()
+		if live <= peak || s.peakBytes.CompareAndSwap(peak, live) {
+			break
+		}
+	}
+	s.tr.Span(obs.TrackIngest, obs.KIngestChunk, start, s.wall(), uint64(len(buf)))
+}
+
+// Next implements Source. The steady-state path (a request already in
+// the current chunk) is allocation-free; chunk buffers recycle through
+// the free list, so priming the ring is the only allocation the handoff
+// ever performs.
+func (s *Stream) Next() (Request, bool) {
+	if s.pos < len(s.cur) {
+		r := s.cur[s.pos]
+		s.pos++
+		s.requests++
+		return r, true
+	}
+	if s.sync {
+		r, ok := s.src.Next()
+		if !ok {
+			s.err = SourceErr(s.src)
+			return Request{}, false
+		}
+		s.requests++
+		if (s.requests-1)%uint64(s.chunkCap) == 0 {
+			s.chunks.Add(1)
+		}
+		return r, true
+	}
+	if s.closed {
+		return Request{}, false
+	}
+	if s.cur != nil {
+		s.liveBytes.Add(-chunkBytes(s.cur))
+		s.free <- s.cur
+		s.cur = nil
+	}
+	var next []Request
+	var ok bool
+	select {
+	case next, ok = <-s.out:
+	default:
+		// The ring is empty: the decoder has not kept ahead.
+		s.stalls++
+		s.tr.Instant(obs.TrackIngest, obs.KIngestStall, s.wall(), uint64(len(s.out)))
+		next, ok = <-s.out
+	}
+	if !ok {
+		s.closed = true
+		s.err = s.decErr
+		return Request{}, false
+	}
+	s.cur, s.pos = next, 0
+	return s.Next()
+}
+
+// Err implements ErrSource: it reports the underlying decoder's
+// terminal error once the stream has ended (nil on a clean end).
+func (s *Stream) Err() error { return s.err }
+
+// Stats returns a snapshot of the stream's ingestion counters.
+func (s *Stream) Stats() StreamStats {
+	return StreamStats{
+		Requests:      s.requests,
+		Chunks:        s.chunks.Load(),
+		Stalls:        s.stalls,
+		LiveBytes:     s.liveBytes.Load(),
+		PeakLiveBytes: s.peakBytes.Load(),
+	}
+}
+
+// Close releases the decode goroutine. It is safe to call at any time
+// and more than once; a stream drained to its end needs no Close.
+func (s *Stream) Close() {
+	if s.quit == nil || s.closed {
+		s.closed = true
+		return
+	}
+	s.closed = true
+	close(s.quit)
+	// Drain any in-flight chunk so the producer's pending send cannot
+	// block (it selects on quit too; this is belt and braces).
+	for range s.out {
+	}
+}

@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"cagc/internal/event"
+)
+
+func TestTenantRangeContains(t *testing.T) {
+	r := TenantRange{Name: "mail", Base: 1000, Pages: 500}
+	for lpn, want := range map[uint64]bool{
+		999:  false,
+		1000: true,
+		1499: true,
+		1500: false,
+		0:    false,
+	} {
+		if r.Contains(lpn) != want {
+			t.Errorf("Contains(%d) = %v, want %v", lpn, !want, want)
+		}
+	}
+}
+
+// A flat envelope (Amp=0 or Period<=0) is the identity.
+func TestDiurnalFlatIsIdentity(t *testing.T) {
+	reqs := []Request{
+		{At: 100, Op: OpRead, LPN: 1, Pages: 1},
+		{At: 300, Op: OpRead, LPN: 2, Pages: 1},
+	}
+	for _, d := range []*Diurnal{
+		{Src: &SliceSource{Reqs: reqs}, Period: 0, Amp: 0.5},
+		{Src: &SliceSource{Reqs: reqs}, Period: 1000, Amp: 0},
+	} {
+		got := Collect(d)
+		if got[0].At != 100 || got[1].At != 300 {
+			t.Fatalf("flat envelope changed arrivals: %+v", got)
+		}
+	}
+}
+
+// The envelope must keep the stream time-ordered (rate is always
+// positive for Amp in [0,1)) and be exactly reproducible.
+func TestDiurnalMonotoneAndDeterministic(t *testing.T) {
+	mk := func() *Diurnal {
+		g, err := NewGenerator(streamSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Diurnal{Src: g, Period: 5 * event.Millisecond, Amp: 0.8}
+	}
+	a, b := Collect(mk()), Collect(mk())
+	if len(a) != streamSpec().Requests || len(a) != len(b) {
+		t.Fatalf("lengths: %d vs %d", len(a), len(b))
+	}
+	last := event.Time(-1)
+	shaped := false
+	for i := range a {
+		if a[i].At != b[i].At || a[i].LPN != b[i].LPN {
+			t.Fatalf("nondeterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].At < last {
+			t.Fatalf("arrivals went backwards at %d: %v after %v", i, a[i].At, last)
+		}
+		last = a[i].At
+	}
+	// The envelope must actually reshape something: compare against the
+	// unshaped stream.
+	g, _ := NewGenerator(streamSpec())
+	plain := Collect(g)
+	for i := range a {
+		if a[i].At != plain[i].At {
+			shaped = true
+			break
+		}
+	}
+	if !shaped {
+		t.Fatal("Amp=0.8 envelope left every arrival unchanged")
+	}
+}
+
+// Bursts compress gaps, lulls stretch them; the overall span changes
+// but every request survives with payload intact.
+func TestDiurnalPreservesPayload(t *testing.T) {
+	g, err := NewGenerator(streamSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Collect(g)
+	g2, _ := NewGenerator(streamSpec())
+	got := Collect(&Diurnal{Src: g2, Period: 2 * event.Millisecond, Amp: 0.5})
+	if len(got) != len(want) {
+		t.Fatalf("%d requests, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].LPN != want[i].LPN || got[i].Op != want[i].Op || got[i].Pages != want[i].Pages {
+			t.Fatalf("payload %d changed: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDiurnalErrDelegates(t *testing.T) {
+	d := &Diurnal{
+		Src:    NewTextReader(strings.NewReader("10 R 1 1\nnot a line\n")),
+		Period: 1000,
+		Amp:    0.3,
+	}
+	Collect(d)
+	if d.Err() == nil {
+		t.Fatal("wrapped decode error not surfaced")
+	}
+}
+
+// Merge must fail the whole stream when any input fails — at
+// construction or mid-stream — instead of dropping one tenant's tail.
+func TestMergeFailsOnSourceError(t *testing.T) {
+	// Error mid-stream: one good source, one that dies on line 2.
+	bad := NewTextReader(strings.NewReader("5 R 1 1\ngarbage\n"))
+	good := &SliceSource{Reqs: []Request{
+		{At: 10, Op: OpRead, LPN: 2, Pages: 1},
+		{At: 20, Op: OpRead, LPN: 3, Pages: 1},
+	}}
+	m := Merge(bad, good)
+	n := 0
+	for {
+		if _, ok := m.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if m.Err() == nil {
+		t.Fatal("merge swallowed a source error")
+	}
+	if n > 1 {
+		t.Fatalf("merge played %d requests past the failure", n)
+	}
+
+	// Error on the very first Next: caught at construction.
+	m2 := Merge(NewTextReader(strings.NewReader("garbage\n")))
+	if _, ok := m2.Next(); ok {
+		t.Fatal("failed merge yielded")
+	}
+	if m2.Err() == nil {
+		t.Fatal("construction-time source error not surfaced")
+	}
+}
+
+// SourceErr is nil for plain sources and transparent for ErrSources.
+func TestSourceErr(t *testing.T) {
+	if SourceErr(&SliceSource{}) != nil {
+		t.Fatal("plain source reported an error")
+	}
+	tr := NewTextReader(strings.NewReader("bad\n"))
+	tr.Next()
+	if SourceErr(tr) == nil {
+		t.Fatal("ErrSource error not seen")
+	}
+	o := &Offset{Src: tr}
+	if o.Err() == nil {
+		t.Fatal("Offset did not delegate Err")
+	}
+	ts := &TimeScale{Src: tr}
+	if ts.Err() == nil {
+		t.Fatal("TimeScale did not delegate Err")
+	}
+}

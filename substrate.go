@@ -75,6 +75,12 @@ type SubstrateBench struct {
 	// worker per core, reporting devices/sec and the per-core aggregate.
 	Fleet FleetBench `json:"fleet"`
 
+	// ReplayStream times the file-replay ingestion pipeline: the same
+	// binary trace file replayed with synchronous decode and with the
+	// decode-ahead background reader, plus the stream's ring telemetry
+	// (chunks, stall ratio, peak reader-side live bytes).
+	ReplayStream ReplayStreamBench `json:"replay_stream"`
+
 	// History is the PR-over-PR trajectory: the numbers each earlier
 	// performance PR committed (pinned in substrateHistory, mined from
 	// this repository's own BENCH_substrate.json history), followed by
@@ -182,6 +188,33 @@ type FleetBench struct {
 	ReseedBytes uint64 `json:"reseed_bytes"`
 }
 
+// ReplayStreamBench records the streaming-ingestion comparison: one
+// generated binary trace replayed from disk twice over a warm snapshot
+// — decode on the simulator goroutine (sync) vs the decode-ahead
+// background reader — with the stream's ring telemetry. Both legs
+// produce byte-identical results; the section tracks what the overlap
+// buys and that reader-side memory stays bounded. All fields are
+// scalars so SubstrateBench stays comparable.
+type ReplayStreamBench struct {
+	Name      string `json:"name"`
+	Requests  int    `json:"requests"`
+	FileBytes int64  `json:"file_bytes"`
+	SyncNs    int64  `json:"sync_ns"`
+	StreamNs  int64  `json:"stream_ns"`
+	Events    uint64 `json:"events"` // simulated events per leg (legs are identical)
+
+	EventsPerSecSync   float64 `json:"events_per_sec_sync"`
+	EventsPerSecStream float64 `json:"events_per_sec_stream"`
+	BytesPerSec        float64 `json:"bytes_per_sec"` // file bytes / stream wall
+	Speedup            float64 `json:"speedup"`       // SyncNs / StreamNs
+
+	// Ring telemetry of the decode-ahead leg.
+	Chunks          uint64  `json:"chunks"`
+	Stalls          uint64  `json:"stalls"`
+	StallRatio      float64 `json:"stall_ratio"`
+	PeakReaderBytes int64   `json:"peak_reader_bytes"`
+}
+
 // HistoryRow is one (PR, workload) point of the substrate trajectory:
 // wall time, allocation count, and event throughput of a full cold run
 // at the canonical benchmark scale (-requests 6000, 16 MiB device).
@@ -214,12 +247,15 @@ var substrateHistory = []HistoryRow{
 	{PR: "PR 7", Change: "fleet-scale sharded execution, clone free-list recycling", Workload: "Mail", NsPerOp: 5756963, AllocsPerOp: 302, EventsPerSec: 9413643.8},
 	{PR: "PR 7", Change: "fleet-scale sharded execution, clone free-list recycling", Workload: "Homes", NsPerOp: 6135316, AllocsPerOp: 304, EventsPerSec: 10989326.3},
 	{PR: "PR 7", Change: "fleet-scale sharded execution, clone free-list recycling", Workload: "Web-vm", NsPerOp: 13210684, AllocsPerOp: 315, EventsPerSec: 12855958.1},
+	{PR: "PR 8", Change: "chunked copy-on-write re-seeding, batch-aware work stealing", Workload: "Mail", NsPerOp: 5303677, AllocsPerOp: 302, EventsPerSec: 10218192.467304531},
+	{PR: "PR 8", Change: "chunked copy-on-write re-seeding, batch-aware work stealing", Workload: "Homes", NsPerOp: 5754677, AllocsPerOp: 304, EventsPerSec: 11716208.451397635},
+	{PR: "PR 8", Change: "chunked copy-on-write re-seeding, batch-aware work stealing", Workload: "Web-vm", NsPerOp: 12930061, AllocsPerOp: 315, EventsPerSec: 13134972.678691823},
 }
 
 // currentHistoryLabel names the rows this measurement contributes.
 const (
-	currentHistoryPR     = "PR 8"
-	currentHistoryChange = "chunked copy-on-write re-seeding, batch-aware work stealing"
+	currentHistoryPR     = "PR 10"
+	currentHistoryChange = "decode-ahead streaming trace ingestion, multi-tenant scenario replay"
 )
 
 // EventsOf tallies the discrete operations the substrate processed
@@ -285,6 +321,9 @@ func MeasureSubstrate(w Workload, s Scheme, policy string, p Params) (*Substrate
 		return nil, err
 	}
 	if sb.Fleet, err = measureFleet(w, s, policy, p); err != nil {
+		return nil, err
+	}
+	if sb.ReplayStream, err = measureReplayStream(w, s, policy, p); err != nil {
 		return nil, err
 	}
 	sb.History = append(sb.History, substrateHistory...)
@@ -560,6 +599,89 @@ func measureFleet(w Workload, s Scheme, policy string, p Params) (FleetBench, er
 		fb.Speedup = float64(fb.SerialNs) / float64(fb.FleetNs)
 	}
 	return fb, nil
+}
+
+// replayStreamRequests fixes the ingestion-bench trace length: long
+// enough that decode genuinely overlaps simulation, short enough for
+// the bench harness.
+const replayStreamRequests = 100000
+
+// measureReplayStream generates a binary trace file at the benchmark
+// device scale and replays it twice over a warm snapshot: synchronous
+// decode vs the decode-ahead stream. Results are byte-identical; the
+// section records the wall-clock difference and the stream's ring
+// telemetry. It resets the process-wide snapshot cache.
+func measureReplayStream(w Workload, s Scheme, policy string, p Params) (ReplayStreamBench, error) {
+	q := p
+	q.ColdStart = false
+	spec, err := WorkloadSpec(w, q)
+	if err != nil {
+		return ReplayStreamBench{}, err
+	}
+	spec.Requests = replayStreamRequests
+	gen, err := NewTraceGenerator(spec)
+	if err != nil {
+		return ReplayStreamBench{}, err
+	}
+	f, err := os.CreateTemp("", "cagc-replay-bench-*.ctr")
+	if err != nil {
+		return ReplayStreamBench{}, err
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if _, err := WriteTraceFile(path, gen); err != nil {
+		return ReplayStreamBench{}, err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return ReplayStreamBench{}, err
+	}
+	ResetWarmCache()
+	defer ResetWarmCache()
+	// Warm-up leg builds the snapshot so both timed legs measure replay.
+	if _, err := ReplayFile(path, w, s, policy, q, ReplayFileOptions{SyncDecode: true}); err != nil {
+		return ReplayStreamBench{}, err
+	}
+	t0 := time.Now()
+	syncRes, err := ReplayFile(path, w, s, policy, q, ReplayFileOptions{SyncDecode: true})
+	if err != nil {
+		return ReplayStreamBench{}, err
+	}
+	syncD := time.Since(t0)
+	var stats TraceStreamStats
+	t1 := time.Now()
+	streamRes, err := ReplayFile(path, w, s, policy, q, ReplayFileOptions{Stats: &stats})
+	if err != nil {
+		return ReplayStreamBench{}, err
+	}
+	streamD := time.Since(t1)
+	events := EventsOf(streamRes)
+	if got := EventsOf(syncRes); got != events {
+		return ReplayStreamBench{}, fmt.Errorf("cagc: replay bench legs diverged: %d vs %d events", got, events)
+	}
+	rb := ReplayStreamBench{
+		Name: fmt.Sprintf("%s × %s × %s, %d reqs from binary file (warm)",
+			w, s, policy, replayStreamRequests),
+		Requests:        replayStreamRequests,
+		FileBytes:       fi.Size(),
+		SyncNs:          syncD.Nanoseconds(),
+		StreamNs:        streamD.Nanoseconds(),
+		Events:          events,
+		Chunks:          stats.Chunks,
+		Stalls:          stats.Stalls,
+		StallRatio:      stats.StallRatio(),
+		PeakReaderBytes: stats.PeakLiveBytes,
+	}
+	if rb.SyncNs > 0 {
+		rb.EventsPerSecSync = float64(events) / syncD.Seconds()
+	}
+	if rb.StreamNs > 0 {
+		rb.EventsPerSecStream = float64(events) / streamD.Seconds()
+		rb.BytesPerSec = float64(fi.Size()) / streamD.Seconds()
+		rb.Speedup = float64(rb.SyncNs) / float64(rb.StreamNs)
+	}
+	return rb, nil
 }
 
 // WriteBenchJSON emits the report as indented JSON.

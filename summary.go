@@ -62,6 +62,23 @@ type Summary struct {
 	RefShares          [4]float64 `json:"refdist_shares"`
 	EraseSpread        int        `json:"erase_spread"`
 	FreeFraction       float64    `json:"free_fraction"`
+
+	// Tenants is present only for multi-tenant scenario runs (see
+	// RunScenario): per-tenant latency distributions and SLO-violation
+	// counts, in scenario tenant order.
+	Tenants []TenantSummary `json:"tenants,omitempty"`
+}
+
+// TenantSummary is the JSON-stable view of one tenant's share of a
+// multi-tenant replay.
+type TenantSummary struct {
+	Name     string `json:"name"`
+	Requests uint64 `json:"requests"`
+	// SLOUs is the tenant's latency objective in microseconds (0 when
+	// none was set); SLOViolations counts requests that exceeded it.
+	SLOUs         float64        `json:"slo_us"`
+	SLOViolations uint64         `json:"slo_violations"`
+	Latency       LatencySummary `json:"latency"`
 }
 
 // Summarize flattens a Result.
@@ -80,6 +97,20 @@ func Summarize(r *Result) Summary {
 			P99Us:  h.Percentile(0.99).Micros(),
 			P999Us: h.Percentile(0.999).Micros(),
 			MaxUs:  h.Max().Micros(),
+		}
+	}
+	var tenants []TenantSummary
+	if len(r.Tenants) > 0 {
+		tenants = make([]TenantSummary, len(r.Tenants))
+		for i := range r.Tenants {
+			t := &r.Tenants[i]
+			tenants[i] = TenantSummary{
+				Name:          t.Name,
+				Requests:      t.Requests,
+				SLOUs:         t.SLO.Micros(),
+				SLOViolations: t.Violations,
+				Latency:       lat(&t.Latency),
+			}
 		}
 	}
 	s := r.FTL
@@ -118,6 +149,8 @@ func Summarize(r *Result) Summary {
 		RefShares:          r.RefShares(),
 		EraseSpread:        r.EraseSpread,
 		FreeFraction:       r.FreeFraction,
+
+		Tenants: tenants,
 	}
 }
 
